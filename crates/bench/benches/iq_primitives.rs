@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the issue-queue primitives: dispatch / wakeup /
+//! select cycles for every organization, and the age-matrix query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use swque_core::{AgeMatrix, DispatchReq, IqConfig, IqKind, IssueBudget};
+use swque_isa::FuClass;
+
+/// One synthetic scheduling round: fill half the queue with a mix of ready
+/// and waiting entries, broadcast some tags, then drain with selects.
+fn scheduling_round(kind: IqKind, config: &IqConfig) -> u64 {
+    let mut q = kind.build(config);
+    let mut seq = 0u64;
+    let mut issued = 0u64;
+    for round in 0..8u64 {
+        while q.has_space() && q.len() < config.capacity / 2 {
+            let waiting = seq % 3 == 0;
+            let srcs = if waiting { [Some((seq % 200 + 1) as u16), None] } else { [None, None] };
+            let fu = match seq % 4 {
+                0 => FuClass::IntAlu,
+                1 => FuClass::LdSt,
+                2 => FuClass::Fpu,
+                _ => FuClass::IntAlu,
+            };
+            q.dispatch(DispatchReq::new(seq, seq, Some((seq % 400) as u16), srcs, fu)).unwrap();
+            seq += 1;
+        }
+        for t in 0..8u16 {
+            q.wakeup((round as u16 * 8 + t) % 200 + 1);
+        }
+        for _ in 0..6 {
+            let mut b = IssueBudget::new(6, [3, 1, 2, 2]);
+            issued += q.select(&mut b).len() as u64;
+        }
+    }
+    issued
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let config = IqConfig::default();
+    let mut group = c.benchmark_group("scheduling_round");
+    for kind in IqKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
+            b.iter(|| scheduling_round(black_box(k), &config));
+        });
+    }
+    group.finish();
+}
+
+fn bench_age_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("age_matrix");
+    for entries in [128usize, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("oldest_ready", entries),
+            &entries,
+            |b, &n| {
+                let mut m = AgeMatrix::new(n);
+                for i in 0..n {
+                    m.allocate(i);
+                }
+                let requests: Vec<usize> = (0..n).step_by(3).collect();
+                b.iter(|| black_box(m.oldest_ready(requests.iter().copied())));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues, bench_age_matrix);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Runs every paper experiment in sequence (the full evaluation of
+//! Section 4). Output is EXPERIMENTS.md-ready plain text.
+//!
+//! Budget knobs: `SWQUE_INSTS` (measured instructions per run, default
+//! 400k) and `SWQUE_WARMUP` (warmup instructions, default 300k).
+
+use std::process::Command;
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let experiments = [
+        "tables", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "tab06",
+        "sec47", "sec48",
+    ];
+    for exp in experiments {
+        println!("\n=============================================================");
+        println!("== {exp}");
+        println!("=============================================================\n");
+        let status = Command::new(exe_dir.join(exp))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        assert!(status.success(), "{exp} failed");
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 9: per-program speedup of SWQUE over AGE, for the medium
+//! (default) and large processor models, with the paper's m-ILP / r-ILP /
+//! MLP class annotations.
+
+use swque_bench::{geomean, run_suite, RunSpec, Table};
+use swque_core::IqKind;
+use swque_workloads::Category;
+
+fn main() {
+    let specs = vec![
+        RunSpec::medium(IqKind::Age),
+        RunSpec::medium(IqKind::Swque),
+        RunSpec::large(IqKind::Age),
+        RunSpec::large(IqKind::Swque),
+    ];
+    let rows = run_suite(&specs);
+
+    let mut table = Table::new(["program", "class", "speedup (medium)", "speedup (large)"]);
+    let mut gm = [[Vec::new(), Vec::new()], [Vec::new(), Vec::new()]]; // [cat][model]
+    for row in &rows {
+        let medium = row.results[1].ipc() / row.results[0].ipc();
+        let large = row.results[3].ipc() / row.results[2].ipc();
+        let cat = (row.kernel.category == Category::Fp) as usize;
+        gm[cat][0].push(medium);
+        gm[cat][1].push(large);
+        table.row([
+            row.kernel.name.to_string(),
+            row.kernel.class.to_string(),
+            format!("{:+.1}%", (medium - 1.0) * 100.0),
+            format!("{:+.1}%", (large - 1.0) * 100.0),
+        ]);
+    }
+    for (cat, label) in [(0, "GM int"), (1, "GM fp")] {
+        table.row([
+            label.to_string(),
+            String::new(),
+            format!("{:+.1}%", (geomean(&gm[cat][0]) - 1.0) * 100.0),
+            format!("{:+.1}%", (geomean(&gm[cat][1]) - 1.0) * 100.0),
+        ]);
+    }
+    println!("Figure 9: SWQUE speedup over AGE (medium and large models)");
+    println!("(paper averages: +9.7% INT / +2.9% FP medium; +13.4% / +4.0% large)\n");
+    println!("{table}");
+}

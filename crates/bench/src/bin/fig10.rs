@@ -1,0 +1,25 @@
+//! Figure 10: breakdown of SWQUE's execution cycles by mode (CIRC-PC vs
+//! AGE) for every program (medium model).
+
+use swque_bench::{run_suite, RunSpec, Table};
+use swque_core::IqKind;
+
+fn main() {
+    let rows = run_suite(&[RunSpec::medium(IqKind::Swque)]);
+    let mut table =
+        Table::new(["program", "class", "CIRC-PC cycles", "AGE cycles", "switches"]);
+    for row in &rows {
+        let sw = row.results[0].swque.expect("SWQUE reports mode stats");
+        let frac = sw.circ_pc_fraction();
+        table.row([
+            row.kernel.name.to_string(),
+            row.kernel.class.to_string(),
+            format!("{:5.1}%", frac * 100.0),
+            format!("{:5.1}%", (1.0 - frac) * 100.0),
+            format!("{}", sw.switches),
+        ]);
+    }
+    println!("Figure 10: execution-cycle breakdown by SWQUE mode (medium model)");
+    println!("(paper: m-ILP programs run mostly as CIRC-PC; r-ILP and MLP as AGE)\n");
+    println!("{table}");
+}

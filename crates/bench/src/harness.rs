@@ -1,0 +1,192 @@
+//! Shared experiment machinery: kernel runs, suite sweeps, aggregation.
+
+use std::sync::Mutex;
+
+use swque_core::IqKind;
+use swque_cpu::{Core, CoreConfig, SimResult};
+use swque_workloads::{suite, Kernel};
+
+/// Which of the paper's processor models to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessorModel {
+    /// Table 2 base model.
+    Medium,
+    /// Table 4 large model.
+    Large,
+}
+
+impl ProcessorModel {
+    /// The corresponding core configuration.
+    pub fn config(self) -> CoreConfig {
+        match self {
+            ProcessorModel::Medium => CoreConfig::medium(),
+            ProcessorModel::Large => CoreConfig::large(),
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProcessorModel::Medium => "medium",
+            ProcessorModel::Large => "large",
+        }
+    }
+}
+
+/// One simulation request.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Processor model.
+    pub model: ProcessorModel,
+    /// Issue-queue organization.
+    pub iq: IqKind,
+    /// Warmup instructions excluded from measurement (the paper skips the
+    /// first 16B instructions of each program before its 100M sample).
+    pub warmup_insts: u64,
+    /// Measured dynamic instructions after warmup.
+    pub max_insts: u64,
+    /// Kernel scale override (`None` = the kernel's default).
+    pub scale: Option<u64>,
+}
+
+impl RunSpec {
+    /// A medium-model run of `iq` with the default experiment budget.
+    pub fn medium(iq: IqKind) -> RunSpec {
+        RunSpec {
+            model: ProcessorModel::Medium,
+            iq,
+            warmup_insts: default_warmup(),
+            max_insts: default_insts(),
+            scale: None,
+        }
+    }
+
+    /// A large-model run of `iq` with the default experiment budget.
+    pub fn large(iq: IqKind) -> RunSpec {
+        RunSpec { model: ProcessorModel::Large, ..RunSpec::medium(iq) }
+    }
+}
+
+/// Default per-run measured-instruction budget. The paper simulates 100M
+/// instructions per program; the default here keeps a full-suite experiment
+/// in minutes and can be raised with the `SWQUE_INSTS` environment
+/// variable.
+pub fn default_insts() -> u64 {
+    std::env::var("SWQUE_INSTS").ok().and_then(|v| v.parse().ok()).unwrap_or(400_000)
+}
+
+/// Default warmup budget (cold caches and predictors are excluded from
+/// measurement); override with `SWQUE_WARMUP`.
+pub fn default_warmup() -> u64 {
+    std::env::var("SWQUE_WARMUP").ok().and_then(|v| v.parse().ok()).unwrap_or(300_000)
+}
+
+/// Runs `kernel` under `spec` and returns the measured-window result
+/// (warmup excluded).
+pub fn run_kernel(kernel: &Kernel, spec: &RunSpec) -> SimResult {
+    let program = match spec.scale {
+        Some(s) => kernel.build_scaled(s),
+        None => kernel.build(),
+    };
+    let mut core = Core::new(spec.model.config(), spec.iq, &program);
+    let warm = core.run(spec.warmup_insts);
+    if core.finished() {
+        // Short program: no meaningful warmup split.
+        return warm;
+    }
+    core.run(spec.warmup_insts + spec.max_insts).delta(&warm)
+}
+
+/// One suite kernel's results across a set of run specs.
+#[derive(Debug, Clone)]
+pub struct SuiteRow {
+    /// The kernel that produced this row.
+    pub kernel: Kernel,
+    /// One result per requested spec, in request order.
+    pub results: Vec<SimResult>,
+}
+
+/// Runs every suite kernel under each spec (kernels in parallel across
+/// threads), returning rows in suite order.
+pub fn run_suite(specs: &[RunSpec]) -> Vec<SuiteRow> {
+    let kernels = suite::all();
+    let rows: Mutex<Vec<Option<SuiteRow>>> = Mutex::new(vec![None; kernels.len()]);
+    let next: Mutex<usize> = Mutex::new(0);
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(kernels.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = {
+                    let mut n = next.lock().expect("scheduler lock");
+                    let i = *n;
+                    *n += 1;
+                    i
+                };
+                if i >= kernels.len() {
+                    break;
+                }
+                let kernel = &kernels[i];
+                let results: Vec<SimResult> =
+                    specs.iter().map(|s| run_kernel(kernel, s)).collect();
+                rows.lock().expect("result lock")[i] =
+                    Some(SuiteRow { kernel: kernel.clone(), results });
+            });
+        }
+    });
+    rows.into_inner()
+        .expect("threads joined")
+        .into_iter()
+        .map(|r| r.expect("every kernel filled"))
+        .collect()
+}
+
+/// Geometric mean of a non-empty slice.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn run_kernel_smoke() {
+        let k = suite::by_name("deepsjeng_like").unwrap();
+        let spec = RunSpec {
+            model: ProcessorModel::Medium,
+            iq: IqKind::Age,
+            warmup_insts: 5_000,
+            max_insts: 20_000,
+            scale: Some(2_000),
+        };
+        let r = run_kernel(&k, &spec);
+        // Commit-width granularity means the warmup snapshot may overshoot
+        // by a few instructions.
+        assert!(r.retired >= 19_000, "measured window present: {}", r.retired);
+        assert!(r.ipc() > 0.05);
+    }
+}

@@ -1,0 +1,34 @@
+//! Branch prediction substrate for the SWQUE reproduction.
+//!
+//! Implements the front-end predictor of the paper's Table 2 baseline:
+//! a **gshare** direction predictor (12-bit global history, 4K-entry 2-bit
+//! pattern history table) and a **branch target buffer** (2K sets × 4 ways,
+//! LRU). The 10-cycle misprediction penalty is enforced by the core model in
+//! `swque-cpu`, not here.
+//!
+//! # Example
+//!
+//! ```
+//! use swque_branch::{BranchKind, BranchOutcome, BranchPredictor, PredictorConfig};
+//!
+//! let mut bp = BranchPredictor::new(PredictorConfig::default());
+//! // Train a always-taken loop branch at pc 0x40.
+//! for _ in 0..8 {
+//!     let p = bp.predict(0x40, BranchKind::Conditional);
+//!     bp.update(0x40, BranchKind::Conditional, p, BranchOutcome { taken: true, target: 0x10 });
+//! }
+//! let p = bp.predict(0x40, BranchKind::Conditional);
+//! assert!(p.taken && p.target == Some(0x10));
+//! ```
+
+#![warn(missing_docs)]
+
+mod btb;
+mod gshare;
+mod predictor;
+
+pub use btb::Btb;
+pub use gshare::Gshare;
+pub use predictor::{
+    BranchKind, BranchOutcome, BranchPredictor, BranchStats, Prediction, PredictorConfig,
+};

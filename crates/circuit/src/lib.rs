@@ -1,0 +1,34 @@
+//! Analytical circuit models of the SWQUE issue queue.
+//!
+//! The paper evaluates its circuits with a manual transistor-level layout
+//! under MOSIS design rules, HSPICE simulation with a 16 nm predictive
+//! transistor model, and McPAT for core energy (§4.1, §4.5–4.7). None of
+//! that tooling is available here, so this crate provides the closest
+//! analytical substitute:
+//!
+//! * [`transistors`] — structural transistor counts for every IQ circuit
+//!   (wakeup CAM, select tree-arbiters, tag RAM, payload RAM, age matrix,
+//!   DTM), derived from queue geometry.
+//! * [`area`] — areas via the paper's published transistor densities
+//!   (Table 5), reproducing Figure 13's relative circuit sizes, the 17%
+//!   IQ-area overhead, and Table 6's cost-vs-Skylake ratios.
+//! * [`delay`] — stage delays in the wakeup→select→tag-read critical path,
+//!   calibrated to the paper's §4.7 measurements (double tag-RAM access =
+//!   66% of the IQ critical path, payload read = 43%, DTM = +1.3%).
+//! * [`energy`] — per-event IQ energy fed by simulator statistics,
+//!   reproducing Figure 12 (SWQUE ≈ idealized SHIFT + ~0.5%).
+//!
+//! Where the paper publishes a measured value, this model is calibrated to
+//! it at the paper's geometry (128 entries, 6-wide) and *scales
+//! structurally* elsewhere, so sweeps over queue size and issue width
+//! remain meaningful.
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod delay;
+pub mod energy;
+mod geometry;
+pub mod transistors;
+
+pub use geometry::{IqGeometry, WakeupStyle};

@@ -1,0 +1,206 @@
+//! The age matrix (paper §2.3): a bit matrix that selects the single oldest
+//! ready instruction from a randomly ordered queue.
+//!
+//! Row `i`, column `j` holds 1 iff the instruction in slot `j` is older than
+//! the instruction in slot `i`. Slot `i` is the oldest requester iff its
+//! request is raised and `row(i) & requests == 0` — i.e. no *ready* older
+//! instruction exists. This is exactly the "bitwise AND of the row vector
+//! with the transposed issue request vector" the paper describes.
+
+/// A bit matrix over `capacity` issue-queue slots.
+///
+/// # Example
+///
+/// ```
+/// use swque_core::AgeMatrix;
+///
+/// let mut m = AgeMatrix::new(8);
+/// m.allocate(5); // oldest
+/// m.allocate(2);
+/// m.allocate(7); // youngest
+/// assert_eq!(m.oldest_ready([2, 7]), Some(2), "5 is older but not requesting");
+/// m.deallocate(2);
+/// assert_eq!(m.oldest_ready([2, 7]), Some(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AgeMatrix {
+    capacity: usize,
+    words_per_row: usize,
+    /// Row-major bit matrix: `rows[i * words_per_row ..]` is row `i`.
+    rows: Vec<u64>,
+    /// Which slots currently participate (valid instructions).
+    valid: Vec<u64>,
+}
+
+impl AgeMatrix {
+    /// Creates an empty matrix over `capacity` slots.
+    pub fn new(capacity: usize) -> AgeMatrix {
+        assert!(capacity > 0, "age matrix needs at least one slot");
+        let words_per_row = capacity.div_ceil(64);
+        AgeMatrix {
+            capacity,
+            words_per_row,
+            rows: vec![0; capacity * words_per_row],
+            valid: vec![0; words_per_row],
+        }
+    }
+
+    /// Number of tracked slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn row(&self, i: usize) -> &[u64] {
+        &self.rows[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    fn bit(word: &[u64], j: usize) -> bool {
+        word[j / 64] >> (j % 64) & 1 == 1
+    }
+
+    fn set_bit(word: &mut [u64], j: usize, v: bool) {
+        if v {
+            word[j / 64] |= 1 << (j % 64);
+        } else {
+            word[j / 64] &= !(1 << (j % 64));
+        }
+    }
+
+    /// Registers slot `i` as the *youngest* live instruction: its row gets a
+    /// 1 for every currently valid slot, and every valid row clears column
+    /// `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slot `i` is already allocated.
+    pub fn allocate(&mut self, i: usize) {
+        assert!(!Self::bit(&self.valid, i), "age-matrix slot {i} allocated twice");
+        // Row i := current valid vector (everyone live is older).
+        let valid_snapshot: Vec<u64> = self.valid.clone();
+        let row = &mut self.rows[i * self.words_per_row..(i + 1) * self.words_per_row];
+        row.copy_from_slice(&valid_snapshot);
+        // Column i := 0 in every row (nobody considers i older).
+        for r in 0..self.capacity {
+            let row = &mut self.rows[r * self.words_per_row..(r + 1) * self.words_per_row];
+            Self::set_bit(row, i, false);
+        }
+        Self::set_bit(&mut self.valid, i, true);
+    }
+
+    /// Removes slot `i` (issued or squashed): clears its column everywhere
+    /// and marks it invalid.
+    pub fn deallocate(&mut self, i: usize) {
+        for r in 0..self.capacity {
+            let row = &mut self.rows[r * self.words_per_row..(r + 1) * self.words_per_row];
+            Self::set_bit(row, i, false);
+        }
+        Self::set_bit(&mut self.valid, i, false);
+    }
+
+    /// True if slot `i` is currently tracked.
+    pub fn is_allocated(&self, i: usize) -> bool {
+        Self::bit(&self.valid, i)
+    }
+
+    /// Clears the matrix.
+    pub fn clear(&mut self) {
+        self.rows.fill(0);
+        self.valid.fill(0);
+    }
+
+    /// Given a request bit per slot, returns the slot of the oldest
+    /// requester, or `None` if no valid slot requests.
+    ///
+    /// `requests` yields the slots whose issue request is raised; requests
+    /// from unallocated slots are ignored.
+    pub fn oldest_ready<I: IntoIterator<Item = usize>>(&self, requests: I) -> Option<usize> {
+        let mut req = vec![0u64; self.words_per_row];
+        for slot in requests {
+            if Self::bit(&self.valid, slot) {
+                Self::set_bit(&mut req, slot, true);
+            }
+        }
+        for i in 0..self.capacity {
+            if !Self::bit(&req, i) {
+                continue;
+            }
+            let row = self.row(i);
+            if row.iter().zip(&req).all(|(r, q)| r & q == 0) {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oldest_of_requesters_wins_in_allocation_order() {
+        let mut m = AgeMatrix::new(8);
+        m.allocate(5); // oldest
+        m.allocate(1);
+        m.allocate(7); // youngest
+        assert_eq!(m.oldest_ready([1, 7]), Some(1), "5 does not request");
+        assert_eq!(m.oldest_ready([5, 1, 7]), Some(5));
+        assert_eq!(m.oldest_ready([7]), Some(7));
+        assert_eq!(m.oldest_ready(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn deallocate_promotes_next_oldest() {
+        let mut m = AgeMatrix::new(4);
+        m.allocate(0);
+        m.allocate(1);
+        m.allocate(2);
+        m.deallocate(0);
+        assert_eq!(m.oldest_ready([1, 2]), Some(1));
+    }
+
+    #[test]
+    fn slot_reuse_resets_age() {
+        let mut m = AgeMatrix::new(4);
+        m.allocate(0); // oldest
+        m.allocate(1);
+        m.deallocate(0);
+        m.allocate(0); // reused: now the YOUNGEST
+        assert_eq!(m.oldest_ready([0, 1]), Some(1));
+    }
+
+    #[test]
+    fn requests_from_unallocated_slots_ignored() {
+        let mut m = AgeMatrix::new(4);
+        m.allocate(2);
+        assert_eq!(m.oldest_ready([0, 1, 3]), None);
+        assert_eq!(m.oldest_ready([0, 2]), Some(2));
+    }
+
+    #[test]
+    fn works_past_64_slots() {
+        let mut m = AgeMatrix::new(130);
+        m.allocate(120);
+        m.allocate(3);
+        m.allocate(129);
+        assert_eq!(m.oldest_ready([3, 129]), Some(3));
+        assert_eq!(m.oldest_ready([120, 3, 129]), Some(120));
+    }
+
+    #[test]
+    #[should_panic(expected = "allocated twice")]
+    fn double_allocate_panics() {
+        let mut m = AgeMatrix::new(2);
+        m.allocate(0);
+        m.allocate(0);
+    }
+
+    #[test]
+    fn clear_empties_matrix() {
+        let mut m = AgeMatrix::new(4);
+        m.allocate(0);
+        m.clear();
+        assert!(!m.is_allocated(0));
+        assert_eq!(m.oldest_ready([0]), None);
+    }
+}

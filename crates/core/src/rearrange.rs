@@ -1,0 +1,280 @@
+//! Extension (not part of the paper's evaluation): the rearranging random
+//! queue of Sakai et al. [ICCD 2018], which the paper's related-work
+//! section (§5) discusses as the closest alternative to SWQUE.
+//!
+//! The scheme splits the IQ into a large *main queue* (free-list allocated,
+//! like RAND) and a small *old queue*; each cycle it moves up to a few of
+//! the oldest main-queue instructions into the old queue, and the shared
+//! select logic gives old-queue instructions priority over everything in
+//! the main queue. Unlike the age matrix, this protects *multiple* oldest
+//! instructions — and unlike CIRC-PC it keeps full capacity efficiency —
+//! at the cost of the moving machinery.
+//!
+//! This behavioural model tracks old-queue membership as a flag over the
+//! shared entry array: `move_width` entries may be promoted per cycle, the
+//! old set holds at most `old_capacity` instructions, and selection walks
+//! the old set in age order before falling back to positional order.
+
+use std::collections::BTreeMap;
+
+use crate::queue::{IqConfig, IssueQueue};
+use crate::slots::SlotArray;
+use crate::stats::IqStats;
+use crate::types::{DispatchReq, Grant, IqFullError, IssueBudget, Tag};
+
+/// The rearranging random queue (extension; see module docs).
+#[derive(Debug)]
+pub struct RearrangingQueue {
+    slots: SlotArray,
+    /// Old-queue membership: seq → position, kept in age order.
+    old: BTreeMap<u64, usize>,
+    old_capacity: usize,
+    move_width: usize,
+    flpi_floor: usize,
+    stats: IqStats,
+}
+
+impl RearrangingQueue {
+    /// Default old-queue size (Sakai et al. use a small fraction of the
+    /// IQ).
+    pub const DEFAULT_OLD_CAPACITY: usize = 16;
+    /// Default instructions moved into the old queue per cycle.
+    pub const DEFAULT_MOVE_WIDTH: usize = 4;
+
+    /// Creates a rearranging queue with the default old-queue geometry.
+    pub fn new(config: &IqConfig) -> RearrangingQueue {
+        RearrangingQueue::with_old_queue(
+            config,
+            Self::DEFAULT_OLD_CAPACITY,
+            Self::DEFAULT_MOVE_WIDTH,
+        )
+    }
+
+    /// Creates a rearranging queue with an explicit old-queue size and
+    /// per-cycle move width.
+    pub fn with_old_queue(
+        config: &IqConfig,
+        old_capacity: usize,
+        move_width: usize,
+    ) -> RearrangingQueue {
+        RearrangingQueue {
+            slots: SlotArray::new(config.capacity),
+            old: BTreeMap::new(),
+            old_capacity,
+            move_width,
+            flpi_floor: config.flpi_rank_floor(),
+            stats: IqStats::default(),
+        }
+    }
+
+    /// Number of instructions currently in the old queue.
+    pub fn old_len(&self) -> usize {
+        self.old.len()
+    }
+
+    /// Promotes up to `move_width` of the oldest main-queue entries.
+    fn rearrange(&mut self) {
+        let mut candidates: Vec<(u64, usize)> = self
+            .slots
+            .valid_positions()
+            .map(|p| (self.slots.get(p).seq, p))
+            .filter(|(seq, _)| !self.old.contains_key(seq))
+            .collect();
+        candidates.sort_unstable();
+        for (seq, pos) in candidates.into_iter().take(self.move_width) {
+            if self.old.len() >= self.old_capacity {
+                break;
+            }
+            self.old.insert(seq, pos);
+        }
+    }
+
+    fn grant_at(&mut self, pos: usize, rank: usize) -> Grant {
+        let slot = self.slots.get(pos);
+        let g = Grant {
+            payload: slot.payload,
+            seq: slot.seq,
+            dst: slot.dst,
+            fu: slot.fu,
+            rank,
+            two_cycle: false,
+        };
+        self.old.remove(&slot.seq);
+        self.slots.remove(pos);
+        self.stats.issued += 1;
+        self.stats.tag_reads += 1;
+        if rank >= self.flpi_floor {
+            self.stats.issued_low_priority += 1;
+        }
+        g
+    }
+}
+
+impl IssueQueue for RearrangingQueue {
+    fn name(&self) -> &'static str {
+        "REARRANGE"
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn has_space(&self) -> bool {
+        self.slots.len() < self.slots.capacity()
+    }
+
+    fn dispatch(&mut self, req: DispatchReq) -> Result<(), IqFullError> {
+        let Some(pos) = self.slots.first_free() else {
+            self.stats.dispatch_stalls += 1;
+            return Err(IqFullError);
+        };
+        self.slots.insert(pos, req, false, 0);
+        self.stats.dispatched += 1;
+        Ok(())
+    }
+
+    fn wakeup(&mut self, tag: Tag) {
+        self.stats.wakeups += 1;
+        self.slots.wakeup(tag);
+    }
+
+    fn select(&mut self, budget: &mut IssueBudget) -> Vec<Grant> {
+        self.stats.selects += 1;
+        self.stats.occupancy_sum += self.slots.len() as u64;
+        self.stats.region_sum += self.slots.len() as u64;
+        self.rearrange();
+
+        let mut grants = Vec::new();
+        // Old queue first, in age order: multiple oldest instructions get
+        // high priority (the scheme's whole point).
+        let old_positions: Vec<usize> = self.old.values().copied().collect();
+        for pos in old_positions {
+            if budget.exhausted() {
+                break;
+            }
+            let slot = self.slots.get(pos);
+            if slot.ready() && budget.try_take(slot.fu) {
+                grants.push(self.grant_at(pos, 0));
+            }
+        }
+        // Then the main queue, positional (random w.r.t. age).
+        for pos in 0..self.slots.capacity() {
+            if budget.exhausted() {
+                break;
+            }
+            let slot = self.slots.get(pos);
+            if slot.valid && slot.ready() && !self.old.contains_key(&slot.seq) {
+                if budget.try_take(slot.fu) {
+                    grants.push(self.grant_at(pos, pos));
+                }
+            }
+        }
+        grants
+    }
+
+    fn flush(&mut self) {
+        self.slots.clear();
+        self.old.clear();
+    }
+
+    fn squash_younger(&mut self, seq: u64) {
+        let doomed: Vec<usize> = self
+            .slots
+            .valid_positions()
+            .filter(|&p| self.slots.get(p).seq > seq)
+            .collect();
+        for pos in doomed {
+            let s = self.slots.get(pos).seq;
+            self.old.remove(&s);
+            self.slots.remove(pos);
+        }
+    }
+
+    fn stats(&self) -> IqStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swque_isa::FuClass;
+
+    fn cfg() -> IqConfig {
+        IqConfig { capacity: 16, issue_width: 4, ..IqConfig::default() }
+    }
+
+    fn waiting(seq: u64, tag: Tag) -> DispatchReq {
+        DispatchReq::new(seq, seq, Some(seq as Tag), [Some(tag), None], FuClass::IntAlu)
+    }
+
+    fn budget(n: usize) -> IssueBudget {
+        IssueBudget::new(n, [n, n, n, n])
+    }
+
+    #[test]
+    fn multiple_oldest_get_priority() {
+        // Unlike AGE's single protected instruction, the old queue protects
+        // several: with four old blocked entries and younger ready ones,
+        // the old entries win as soon as they wake.
+        let mut q = RearrangingQueue::with_old_queue(&cfg(), 4, 4);
+        for seq in 0..4 {
+            q.dispatch(waiting(seq, 99)).unwrap(); // old, blocked
+        }
+        for seq in 4..10 {
+            q.dispatch(waiting(seq, 7)).unwrap(); // young
+        }
+        q.select(&mut budget(0)); // a cycle passes: rearrange runs
+        assert_eq!(q.old_len(), 4);
+        q.wakeup(7);
+        q.wakeup(99);
+        let g = q.select(&mut budget(4));
+        assert_eq!(g.iter().map(|g| g.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn move_width_limits_promotion_rate() {
+        let mut q = RearrangingQueue::with_old_queue(&cfg(), 8, 2);
+        for seq in 0..8 {
+            q.dispatch(waiting(seq, 99)).unwrap();
+        }
+        q.select(&mut budget(0));
+        assert_eq!(q.old_len(), 2, "two promoted per cycle");
+        q.select(&mut budget(0));
+        assert_eq!(q.old_len(), 4);
+    }
+
+    #[test]
+    fn issue_frees_old_slots_for_new_promotions() {
+        let mut q = RearrangingQueue::with_old_queue(&cfg(), 2, 2);
+        for seq in 0..6 {
+            q.dispatch(waiting(seq, 99)).unwrap();
+        }
+        q.select(&mut budget(0));
+        assert_eq!(q.old_len(), 2);
+        q.wakeup(99);
+        let g = q.select(&mut budget(2));
+        assert_eq!(g.iter().map(|g| g.seq).collect::<Vec<_>>(), vec![0, 1]);
+        q.select(&mut budget(0));
+        assert_eq!(q.old_len(), 2, "seqs 2 and 3 promoted after 0 and 1 issued");
+    }
+
+    #[test]
+    fn squash_purges_old_queue_membership() {
+        let mut q = RearrangingQueue::new(&cfg());
+        for seq in 0..8 {
+            q.dispatch(waiting(seq, 99)).unwrap();
+        }
+        q.select(&mut budget(0));
+        q.squash_younger(1);
+        assert_eq!(q.len(), 2);
+        assert!(q.old_len() <= 2);
+        q.wakeup(99);
+        let g = q.select(&mut budget(4));
+        assert_eq!(g.iter().map(|g| g.seq).collect::<Vec<_>>(), vec![0, 1]);
+    }
+}

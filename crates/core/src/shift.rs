@@ -1,0 +1,232 @@
+//! SHIFT: the compacting shifting queue (paper §2.3).
+//!
+//! Instructions stay physically ordered by age; a compaction circuit closes
+//! the holes left by issued instructions every cycle. Priority is therefore
+//! always perfectly age-ordered and capacity efficiency is 1.0 — SHIFT is
+//! the IPC upper bound among the conventional queues, at the cost of circuit
+//! complexity the paper's delay/energy analysis charges against it.
+
+use crate::queue::{IqConfig, IssueQueue};
+use crate::stats::IqStats;
+use crate::types::{DispatchReq, Grant, IqFullError, IssueBudget, Tag};
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    req: DispatchReq,
+    ready: [bool; 2],
+}
+
+impl Entry {
+    fn ready(&self) -> bool {
+        self.ready[0] && self.ready[1]
+    }
+}
+
+/// The compacting, age-ordered queue.
+///
+/// # Example
+///
+/// ```
+/// use swque_core::{DispatchReq, IqConfig, IssueBudget, IssueQueue, ShiftQueue};
+/// use swque_isa::FuClass;
+///
+/// let mut q = ShiftQueue::new(&IqConfig { capacity: 4, issue_width: 2, ..IqConfig::default() });
+/// q.dispatch(DispatchReq::new(0, 0, None, [None, None], FuClass::IntAlu)).unwrap();
+/// q.dispatch(DispatchReq::new(1, 1, None, [None, None], FuClass::IntAlu)).unwrap();
+/// let grants = q.select(&mut IssueBudget::new(2, [2, 1, 1, 1]));
+/// assert_eq!(grants[0].seq, 0, "strictly oldest first");
+/// ```
+#[derive(Debug)]
+pub struct ShiftQueue {
+    capacity: usize,
+    flpi_floor: usize,
+    /// Age-ordered entries; index 0 is the oldest (highest priority).
+    entries: Vec<Entry>,
+    stats: IqStats,
+}
+
+impl ShiftQueue {
+    /// Creates an empty SHIFT queue.
+    pub fn new(config: &IqConfig) -> ShiftQueue {
+        ShiftQueue {
+            capacity: config.capacity,
+            flpi_floor: config.flpi_rank_floor(),
+            entries: Vec::with_capacity(config.capacity),
+            stats: IqStats::default(),
+        }
+    }
+}
+
+impl IssueQueue for ShiftQueue {
+    fn name(&self) -> &'static str {
+        "SHIFT"
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    fn dispatch(&mut self, req: DispatchReq) -> Result<(), IqFullError> {
+        if !self.has_space() {
+            self.stats.dispatch_stalls += 1;
+            return Err(IqFullError);
+        }
+        let ready = [req.srcs[0].is_none(), req.srcs[1].is_none()];
+        self.entries.push(Entry { req, ready });
+        self.stats.dispatched += 1;
+        Ok(())
+    }
+
+    fn wakeup(&mut self, tag: Tag) {
+        self.stats.wakeups += 1;
+        for e in &mut self.entries {
+            for (i, src) in e.req.srcs.iter().enumerate() {
+                if *src == Some(tag) {
+                    e.ready[i] = true;
+                }
+            }
+        }
+    }
+
+    fn select(&mut self, budget: &mut IssueBudget) -> Vec<Grant> {
+        self.stats.selects += 1;
+        self.stats.occupancy_sum += self.entries.len() as u64;
+        self.stats.region_sum += self.entries.len() as u64;
+
+        let mut grants = Vec::new();
+        let mut keep = Vec::with_capacity(self.entries.len());
+        for (rank, e) in self.entries.drain(..).enumerate() {
+            if !budget.exhausted() && e.ready() && budget.try_take(e.req.fu) {
+                self.stats.issued += 1;
+                self.stats.tag_reads += 1;
+                if rank >= self.flpi_floor {
+                    self.stats.issued_low_priority += 1;
+                }
+                grants.push(Grant {
+                    payload: e.req.payload,
+                    seq: e.req.seq,
+                    dst: e.req.dst,
+                    fu: e.req.fu,
+                    rank,
+                    two_cycle: false,
+                });
+            } else {
+                keep.push(e);
+            }
+        }
+        // Compaction: survivors shift up to close the holes.
+        self.entries = keep;
+        grants
+    }
+
+    fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    fn squash_younger(&mut self, seq: u64) {
+        self.entries.retain(|e| e.req.seq <= seq);
+    }
+
+    fn stats(&self) -> IqStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swque_isa::FuClass;
+
+    fn cfg(cap: usize, iw: usize) -> IqConfig {
+        IqConfig { capacity: cap, issue_width: iw, ..IqConfig::default() }
+    }
+
+    fn ready(seq: u64, fu: FuClass) -> DispatchReq {
+        DispatchReq::new(seq, seq, Some(seq as Tag), [None, None], fu)
+    }
+
+    fn waiting(seq: u64, tag: Tag) -> DispatchReq {
+        DispatchReq::new(seq, seq, Some(seq as Tag), [Some(tag), None], FuClass::IntAlu)
+    }
+
+    fn budget(iw: usize) -> IssueBudget {
+        IssueBudget::new(iw, [iw, iw, iw, iw])
+    }
+
+    #[test]
+    fn issues_strictly_oldest_first() {
+        let mut q = ShiftQueue::new(&cfg(8, 2));
+        for seq in 0..4 {
+            q.dispatch(ready(seq, FuClass::IntAlu)).unwrap();
+        }
+        let g = q.select(&mut budget(2));
+        assert_eq!(g.iter().map(|g| g.seq).collect::<Vec<_>>(), vec![0, 1]);
+        let g = q.select(&mut budget(2));
+        assert_eq!(g.iter().map(|g| g.seq).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn compaction_keeps_age_order_after_out_of_order_issue() {
+        let mut q = ShiftQueue::new(&cfg(8, 4));
+        q.dispatch(waiting(0, 99)).unwrap(); // oldest, blocked
+        q.dispatch(ready(1, FuClass::IntAlu)).unwrap();
+        q.dispatch(ready(2, FuClass::IntAlu)).unwrap();
+        let g = q.select(&mut budget(4));
+        assert_eq!(g.iter().map(|g| g.seq).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(q.len(), 1);
+        // Unblock the oldest; it is now at rank 0 after compaction.
+        q.wakeup(99);
+        let g = q.select(&mut budget(4));
+        assert_eq!(g[0].seq, 0);
+        assert_eq!(g[0].rank, 0);
+    }
+
+    #[test]
+    fn respects_fu_constraints() {
+        let mut q = ShiftQueue::new(&cfg(8, 4));
+        q.dispatch(ready(0, FuClass::Fpu)).unwrap();
+        q.dispatch(ready(1, FuClass::Fpu)).unwrap();
+        q.dispatch(ready(2, FuClass::IntAlu)).unwrap();
+        // Only one FPU free.
+        let mut b = IssueBudget::new(4, [4, 0, 0, 1]);
+        let g = q.select(&mut b);
+        assert_eq!(g.iter().map(|g| g.seq).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn full_queue_rejects_dispatch() {
+        let mut q = ShiftQueue::new(&cfg(2, 1));
+        q.dispatch(ready(0, FuClass::IntAlu)).unwrap();
+        q.dispatch(ready(1, FuClass::IntAlu)).unwrap();
+        assert!(!q.has_space());
+        assert_eq!(q.dispatch(ready(2, FuClass::IntAlu)), Err(IqFullError));
+        assert_eq!(q.stats().dispatch_stalls, 1);
+    }
+
+    #[test]
+    fn capacity_efficiency_is_one() {
+        let mut q = ShiftQueue::new(&cfg(4, 1));
+        q.dispatch(ready(0, FuClass::IntAlu)).unwrap();
+        q.dispatch(ready(1, FuClass::IntAlu)).unwrap();
+        q.select(&mut budget(1));
+        q.select(&mut budget(1));
+        assert!((q.stats().capacity_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut q = ShiftQueue::new(&cfg(4, 1));
+        q.dispatch(ready(0, FuClass::IntAlu)).unwrap();
+        q.flush();
+        assert!(q.is_empty());
+        assert!(q.select(&mut budget(1)).is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Shared physical-entry storage used by the position-priority queues
+//! (CIRC, CIRC-PC, RAND, AGE). Models the wakeup-logic CAM array: each slot
+//! holds two source tags with ready flags and requests issue when both are
+//! ready.
+
+use swque_isa::FuClass;
+
+use crate::types::{DispatchReq, Tag};
+
+/// One wakeup-logic entry (an "entry slice" in the paper's Figure 5).
+#[derive(Debug, Clone, Copy)]
+pub struct Slot {
+    /// Entry holds a live instruction.
+    pub valid: bool,
+    /// Program-order sequence number.
+    pub seq: u64,
+    /// Dispatcher handle.
+    pub payload: u64,
+    /// Destination tag.
+    pub dst: Option<Tag>,
+    /// Unresolved source tags (`None` = ready).
+    pub srcs: [Option<Tag>; 2],
+    /// Function-unit class.
+    pub fu: FuClass,
+    /// CIRC-PC reverse flag, set at dispatch when wrap-around is in effect.
+    pub reverse: bool,
+    /// CIRC-PC: selected by `S_RV`, waiting for the next-cycle DTM merge.
+    pub pending_rv: bool,
+    /// AGE-multiAM: which age-matrix bucket the entry was steered to.
+    pub bucket: u8,
+}
+
+impl Slot {
+    const EMPTY: Slot = Slot {
+        valid: false,
+        seq: 0,
+        payload: 0,
+        dst: None,
+        srcs: [None, None],
+        fu: FuClass::IntAlu,
+        reverse: false,
+        pending_rv: false,
+        bucket: 0,
+    };
+
+    /// Both operands resolved: the entry raises an issue request.
+    pub fn ready(&self) -> bool {
+        self.valid && self.srcs[0].is_none() && self.srcs[1].is_none()
+    }
+}
+
+/// A fixed array of [`Slot`]s with CAM-style wakeup.
+#[derive(Debug, Clone)]
+pub struct SlotArray {
+    slots: Vec<Slot>,
+    len: usize,
+}
+
+impl SlotArray {
+    /// Creates `capacity` empty slots.
+    pub fn new(capacity: usize) -> SlotArray {
+        assert!(capacity > 0, "issue queue needs at least one entry");
+        SlotArray { slots: vec![Slot::EMPTY; capacity], len: 0 }
+    }
+
+    /// Number of physical slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entry is valid.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Immutable slot access.
+    pub fn get(&self, pos: usize) -> &Slot {
+        &self.slots[pos]
+    }
+
+    /// Mutable slot access.
+    pub fn get_mut(&mut self, pos: usize) -> &mut Slot {
+        &mut self.slots[pos]
+    }
+
+    /// Writes `req` into slot `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already valid (the caller tracks free slots).
+    pub fn insert(&mut self, pos: usize, req: DispatchReq, reverse: bool, bucket: u8) {
+        let slot = &mut self.slots[pos];
+        assert!(!slot.valid, "dispatch into an occupied slot {pos}");
+        *slot = Slot {
+            valid: true,
+            seq: req.seq,
+            payload: req.payload,
+            dst: req.dst,
+            srcs: req.srcs,
+            fu: req.fu,
+            reverse,
+            pending_rv: false,
+            bucket,
+        };
+        self.len += 1;
+    }
+
+    /// Invalidates slot `pos` (on issue or flush).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not valid.
+    pub fn remove(&mut self, pos: usize) {
+        let slot = &mut self.slots[pos];
+        assert!(slot.valid, "remove of an empty slot {pos}");
+        slot.valid = false;
+        slot.pending_rv = false;
+        slot.reverse = false;
+        self.len -= 1;
+    }
+
+    /// Broadcasts `tag` to every entry, resolving matching sources.
+    pub fn wakeup(&mut self, tag: Tag) {
+        for slot in &mut self.slots {
+            if !slot.valid {
+                continue;
+            }
+            for src in &mut slot.srcs {
+                if *src == Some(tag) {
+                    *src = None;
+                }
+            }
+        }
+    }
+
+    /// Clears every slot.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = Slot::EMPTY;
+        }
+        self.len = 0;
+    }
+
+    /// Positions of all valid slots (ascending position order).
+    pub fn valid_positions(&self) -> impl Iterator<Item = usize> + '_ {
+        self.slots.iter().enumerate().filter(|(_, s)| s.valid).map(|(p, _)| p)
+    }
+
+    /// Lowest-index free slot, if any.
+    pub fn first_free(&self) -> Option<usize> {
+        self.slots.iter().position(|s| !s.valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(seq: u64, srcs: [Option<Tag>; 2]) -> DispatchReq {
+        DispatchReq::new(seq, seq * 10, Some(seq as Tag), srcs, FuClass::IntAlu)
+    }
+
+    #[test]
+    fn insert_wakeup_ready_cycle() {
+        let mut a = SlotArray::new(4);
+        a.insert(2, req(1, [Some(5), Some(6)]), false, 0);
+        assert!(!a.get(2).ready());
+        a.wakeup(5);
+        assert!(!a.get(2).ready());
+        a.wakeup(6);
+        assert!(a.get(2).ready());
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn wakeup_matches_both_operands_of_same_tag() {
+        let mut a = SlotArray::new(2);
+        a.insert(0, req(1, [Some(9), Some(9)]), false, 0);
+        a.wakeup(9);
+        assert!(a.get(0).ready(), "one broadcast resolves both matching sources");
+    }
+
+    #[test]
+    fn remove_frees_slot_for_reuse() {
+        let mut a = SlotArray::new(2);
+        a.insert(0, req(1, [None, None]), false, 0);
+        a.insert(1, req(2, [None, None]), false, 0);
+        assert_eq!(a.first_free(), None);
+        a.remove(0);
+        assert_eq!(a.first_free(), Some(0));
+        assert_eq!(a.len(), 1);
+        a.insert(0, req(3, [None, None]), false, 0);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied slot")]
+    fn double_insert_panics() {
+        let mut a = SlotArray::new(1);
+        a.insert(0, req(1, [None, None]), false, 0);
+        a.insert(0, req(2, [None, None]), false, 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut a = SlotArray::new(3);
+        a.insert(1, req(1, [None, None]), true, 2);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.valid_positions().count(), 0);
+        assert!(!a.get(1).reverse);
+    }
+
+    #[test]
+    fn valid_positions_in_position_order() {
+        let mut a = SlotArray::new(4);
+        a.insert(3, req(1, [None, None]), false, 0);
+        a.insert(1, req(2, [None, None]), false, 0);
+        let v: Vec<usize> = a.valid_positions().collect();
+        assert_eq!(v, vec![1, 3]);
+    }
+}

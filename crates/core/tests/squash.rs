@@ -1,0 +1,151 @@
+//! Cross-scheme tests for misprediction squash (`squash_younger`).
+
+use swque_core::{DispatchReq, IqConfig, IqKind, IssueBudget, Tag};
+use swque_isa::FuClass;
+
+fn cfg() -> IqConfig {
+    IqConfig { capacity: 8, issue_width: 4, ..IqConfig::default() }
+}
+
+fn ready(seq: u64) -> DispatchReq {
+    DispatchReq::new(seq, seq, Some(seq as Tag), [None, None], FuClass::IntAlu)
+}
+
+fn waiting(seq: u64, tag: Tag) -> DispatchReq {
+    DispatchReq::new(seq, seq, Some(seq as Tag), [Some(tag), None], FuClass::IntAlu)
+}
+
+fn budget(n: usize) -> IssueBudget {
+    IssueBudget::new(n, [n, n, n, n])
+}
+
+#[test]
+fn squash_removes_exactly_the_younger_entries() {
+    for kind in IqKind::ALL {
+        let mut q = kind.build(&cfg());
+        for seq in 0..6 {
+            q.dispatch(waiting(seq, 99)).unwrap();
+        }
+        q.squash_younger(2);
+        assert_eq!(q.len(), 3, "{kind}: seqs 0..=2 survive");
+        q.wakeup(99);
+        let mut seqs: Vec<u64> = Vec::new();
+        while !q.is_empty() {
+            seqs.extend(q.select(&mut budget(4)).iter().map(|g| g.seq));
+        }
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![0, 1, 2], "{kind}: survivors issue normally");
+    }
+}
+
+#[test]
+fn squash_everything_younger_than_nothing_empties_queue() {
+    for kind in IqKind::ALL {
+        let mut q = kind.build(&cfg());
+        for seq in 1..5 {
+            q.dispatch(ready(seq)).unwrap();
+        }
+        q.squash_younger(0);
+        assert!(q.is_empty(), "{kind}");
+        assert!(q.select(&mut budget(4)).is_empty(), "{kind}: no ghost grants");
+    }
+}
+
+#[test]
+fn squash_reclaims_circular_capacity() {
+    // Fill a circular queue completely, then squash the younger half: the
+    // tail must roll back so new dispatches fit.
+    for kind in [IqKind::Circ, IqKind::CircPpri, IqKind::CircPc] {
+        let mut q = kind.build(&cfg());
+        for seq in 0..8 {
+            q.dispatch(waiting(seq, 99)).unwrap();
+        }
+        assert!(!q.has_space(), "{kind}");
+        q.squash_younger(3);
+        assert!(q.has_space(), "{kind}: tail rolled back");
+        for seq in 10..14 {
+            q.dispatch(waiting(seq, 99)).unwrap();
+        }
+        assert_eq!(q.len(), 8, "{kind}: refilled after squash");
+    }
+}
+
+#[test]
+fn squash_past_holes_reclaims_them() {
+    // Issue a young instruction (leaving a tail-side hole), then squash
+    // past it: the hole must be reclaimed along with live younger entries.
+    let mut q = IqKind::Circ.build(&cfg());
+    q.dispatch(waiting(0, 99)).unwrap();
+    q.dispatch(waiting(1, 99)).unwrap();
+    q.dispatch(ready(2)).unwrap();
+    q.dispatch(waiting(3, 99)).unwrap();
+    let g = q.select(&mut budget(1));
+    assert_eq!(g[0].seq, 2, "young ready issues, leaving a hole");
+    q.squash_younger(1);
+    assert_eq!(q.len(), 2);
+    // Region is back to two entries: six more fit.
+    for seq in 10..16 {
+        q.dispatch(waiting(seq, 99)).unwrap();
+    }
+    assert!(!q.has_space());
+}
+
+#[test]
+fn circ_pc_pending_rv_grants_die_with_the_squash() {
+    let config = cfg();
+    let mut q = IqKind::CircPc.build(&config);
+    // Build a wrapped queue: fill, issue the two oldest, dispatch two more.
+    for seq in 0..8 {
+        q.dispatch(waiting(seq, if seq < 2 { 7 } else { 99 })).unwrap();
+    }
+    q.wakeup(7);
+    assert_eq!(q.select(&mut budget(2)).len(), 2);
+    q.dispatch(waiting(8, 55)).unwrap();
+    q.dispatch(waiting(9, 55)).unwrap();
+    // RV entries become ready and are selected by S_RV (pending).
+    q.wakeup(55);
+    assert!(q.select(&mut budget(4)).is_empty(), "RV selection cycle");
+    // Squash them before the merge: nothing may issue.
+    q.squash_younger(7);
+    let g = q.select(&mut budget(4));
+    assert!(g.is_empty(), "squashed pending RV tags must not merge: {g:?}");
+}
+
+#[test]
+fn age_matrix_consistent_after_squash() {
+    let mut q = IqKind::Age.build(&cfg());
+    for seq in 0..6 {
+        q.dispatch(waiting(seq, 99)).unwrap();
+    }
+    q.squash_younger(3);
+    // Dispatch a new young instruction into a freed slot and check the age
+    // matrix still ranks the old survivor first.
+    q.dispatch(waiting(10, 99)).unwrap();
+    q.wakeup(99);
+    let g = q.select(&mut budget(1));
+    assert_eq!(g[0].seq, 0, "oldest survivor keeps age-matrix priority");
+}
+
+#[test]
+fn squash_interleaves_with_normal_operation() {
+    // Repeated dispatch/squash cycles must not leak capacity in any scheme.
+    for kind in IqKind::ALL {
+        let mut q = kind.build(&cfg());
+        let mut seq = 0u64;
+        for round in 0..50 {
+            while q.has_space() {
+                q.dispatch(waiting(seq, 99)).unwrap();
+                seq += 1;
+            }
+            let keep = seq - 1 - (round % 4);
+            q.squash_younger(keep);
+            if round % 8 == 7 {
+                q.wakeup(99);
+                while !q.is_empty() {
+                    let g = q.select(&mut budget(4));
+                    assert!(!g.is_empty(), "{kind}: drain makes progress");
+                }
+            }
+        }
+    }
+}

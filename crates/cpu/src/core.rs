@@ -1,0 +1,690 @@
+//! The out-of-order superscalar core: a cycle-level timing model in the
+//! style of SimpleScalar's `sim-outorder`, with the issue queue fully
+//! pluggable via [`IqKind`].
+//!
+//! # Structure
+//!
+//! Each simulated cycle runs the pipeline stages in reverse order so that
+//! same-cycle producer→consumer flow behaves like hardware:
+//!
+//! `commit → writeback → execute → issue → dispatch → fetch`
+//!
+//! * **Fetch** uses the functional [`Emulator`] as an execute-at-fetch
+//!   oracle: each fetched instruction carries its architectural outcome
+//!   (next pc, memory address). Branches are predicted with gshare+BTB; on a
+//!   misprediction fetch *stalls* until the branch resolves (no wrong-path
+//!   execution, SimpleScalar's default) and then pays the front-end refill
+//!   implied by `frontend_depth`.
+//! * **Dispatch** renames registers, allocates ROB/LSQ/IQ entries in program
+//!   order, and stalls on any structural hazard — including the circular
+//!   queues' hole-induced capacity loss, which is how CIRC's inefficiency
+//!   becomes visible in IPC.
+//! * **Issue** builds an [`IssueBudget`] from the free function units and
+//!   asks the issue queue to select; the queue's priority policy is the
+//!   paper's entire subject.
+//! * **Writeback** broadcasts destination tags into the IQ one cycle before
+//!   dependents can issue, giving back-to-back scheduling for single-cycle
+//!   producers.
+//! * **Mode switches** (SWQUE) perform a *full* pipeline flush: in-flight
+//!   instructions are replayed through the front end (they are correct-path
+//!   by construction), and fetch stalls for the switch penalty.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use swque_branch::{BranchKind, BranchOutcome, BranchPredictor};
+use swque_core::{DispatchReq, IqKind, IqMode, IssueBudget, IssueQueue};
+use swque_isa::{Emulator, Opcode, Program, Retired, ShadowEmulator};
+use swque_mem::{AccessKind, MemoryHierarchy};
+
+use crate::config::CoreConfig;
+use crate::fu::FuPool;
+use crate::lsq::{LoadAction, Lsq};
+use crate::rename::RenameState;
+use crate::result::{CoreStats, SimResult};
+use crate::rob::{Rob, RobEntry, RobState};
+
+/// An instruction travelling through the front end (fetched or awaiting
+/// replay after a flush).
+#[derive(Debug, Clone, Copy)]
+struct FrontInst {
+    uid: u64,
+    oracle: Retired,
+}
+
+/// A fetched instruction waiting out the front-end pipeline depth.
+#[derive(Debug, Clone, Copy)]
+struct DecodedInst {
+    front: FrontInst,
+    ready_at: u64,
+    mispredicted: bool,
+    /// Fetched down a mispredicted branch's wrong path.
+    wp: bool,
+}
+
+/// Active wrong-path fetch state: created when the front end detects a
+/// misprediction (oracle outcome vs prediction) and destroyed when the
+/// branch resolves and its wrong path is squashed.
+#[derive(Debug)]
+struct WrongPath {
+    /// uid of the mispredicted (correct-path) branch.
+    branch_uid: u64,
+    /// Shadow execution context running down the predicted (wrong) path.
+    shadow: ShadowEmulator,
+    /// The wrong path ran out (halt/invalid pc/unknown target); fetch idles
+    /// until the branch resolves.
+    dead: bool,
+}
+
+/// Cycles with no retirement before the simulator declares itself wedged.
+const DEADLOCK_LIMIT: u64 = 2_000_000;
+
+/// A point-in-time view of pipeline occupancy (see [`Core::snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineSnapshot {
+    /// Current cycle.
+    pub cycle: u64,
+    /// Instructions retired so far.
+    pub retired: u64,
+    /// Live reorder-buffer entries.
+    pub rob_occupancy: usize,
+    /// Live issue-queue entries.
+    pub iq_occupancy: usize,
+    /// Live load/store-queue entries.
+    pub lsq_occupancy: usize,
+    /// Instructions buffered in the front end.
+    pub decode_occupancy: usize,
+    /// Correct-path instructions awaiting replay after a flush.
+    pub replay_pending: usize,
+    /// A misprediction is unresolved (wrong-path fetch active or dead).
+    pub wrong_path_active: bool,
+    /// The issue queue's current operating mode.
+    pub mode: IqMode,
+}
+
+/// The simulated core.
+#[derive(Debug)]
+pub struct Core {
+    config: CoreConfig,
+    iq: Box<dyn IssueQueue>,
+    emu: Emulator,
+    mem: MemoryHierarchy,
+    bp: BranchPredictor,
+    rename: RenameState,
+    rob: Rob,
+    lsq: Lsq,
+    fus: FuPool,
+
+    cycle: u64,
+    retired: u64,
+    last_retire_cycle: u64,
+    next_uid: u64,
+    next_seq: u64,
+
+    /// Correct-path instructions squashed by a flush, awaiting refetch.
+    replay: VecDeque<FrontInst>,
+    /// Fetched instructions in the front-end pipeline.
+    decode_q: VecDeque<DecodedInst>,
+    fetch_stalled_until: u64,
+    /// Wrong-path fetch state while a misprediction is unresolved.
+    wrong_path: Option<WrongPath>,
+    emu_halted: bool,
+    last_fetch_line: Option<u64>,
+
+    /// Completion events: `(cycle, seq, uid)` min-heap.
+    events: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    /// Loads whose address generation is done: `(ready_cycle, uid)`.
+    pending_loads: Vec<(u64, u64)>,
+
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Creates a core running `program` with the issue queue `kind`.
+    pub fn new(config: CoreConfig, kind: IqKind, program: &Program) -> Core {
+        let iq = kind.build(&config.iq);
+        Core {
+            emu: Emulator::new(program),
+            mem: MemoryHierarchy::new(config.mem),
+            bp: BranchPredictor::new(config.predictor),
+            rename: RenameState::new(config.phys_int, config.phys_fp),
+            rob: Rob::new(config.rob_entries),
+            lsq: Lsq::new(config.lsq_entries),
+            fus: FuPool::new(config.fu_counts),
+            iq,
+            cycle: 0,
+            retired: 0,
+            last_retire_cycle: 0,
+            next_uid: 0,
+            next_seq: 0,
+            replay: VecDeque::new(),
+            decode_q: VecDeque::new(),
+            fetch_stalled_until: 0,
+            wrong_path: None,
+            emu_halted: false,
+            last_fetch_line: None,
+            events: BinaryHeap::new(),
+            pending_loads: Vec::new(),
+            stats: CoreStats::default(),
+            config,
+        }
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Retired instructions so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// The functional emulator (architectural state oracle). After the run
+    /// completes, this holds the program's final architectural state, which
+    /// is identical across all issue-queue organizations — a key invariant.
+    pub fn emulator(&self) -> &Emulator {
+        &self.emu
+    }
+
+    /// True when the program has halted and the pipeline has drained.
+    pub fn finished(&self) -> bool {
+        self.emu_halted
+            && self.rob.is_empty()
+            && self.decode_q.is_empty()
+            && self.replay.is_empty()
+    }
+
+    /// Runs until `max_insts` instructions retire or the program finishes.
+    /// Returns the accumulated results (callable again to continue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline makes no forward progress for an implausibly
+    /// long time (a simulator bug, not a program property).
+    pub fn run(&mut self, max_insts: u64) -> SimResult {
+        while self.retired < max_insts && !self.finished() {
+            self.step_cycle();
+            assert!(
+                self.cycle - self.last_retire_cycle < DEADLOCK_LIMIT,
+                "no retirement for {DEADLOCK_LIMIT} cycles at cycle {} (retired {}); \
+                 pipeline wedged",
+                self.cycle,
+                self.retired,
+            );
+        }
+        self.result()
+    }
+
+    /// Snapshot of the statistics so far.
+    pub fn result(&self) -> SimResult {
+        SimResult {
+            cycles: self.cycle,
+            retired: self.retired,
+            iq: self.iq.stats(),
+            swque: self.iq.swque_stats(),
+            mem: self.mem.stats(),
+            branch: self.bp.stats(),
+            core: self.stats,
+        }
+    }
+
+    /// Current IQ mode (meaningful for SWQUE).
+    pub fn iq_mode(&self) -> IqMode {
+        self.iq.mode()
+    }
+
+    /// A point-in-time view of pipeline occupancy, for instrumentation and
+    /// debugging (the `mode_switching` example uses it to narrate runs).
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        PipelineSnapshot {
+            cycle: self.cycle,
+            retired: self.retired,
+            rob_occupancy: self.rob.len(),
+            iq_occupancy: self.iq.len(),
+            lsq_occupancy: self.lsq.len(),
+            decode_occupancy: self.decode_q.len(),
+            replay_pending: self.replay.len(),
+            wrong_path_active: self.wrong_path.is_some(),
+            mode: self.iq.mode(),
+        }
+    }
+
+    /// Advances one cycle.
+    pub fn step_cycle(&mut self) {
+        self.commit();
+        self.writeback();
+        self.execute();
+        self.issue();
+        self.dispatch();
+        self.fetch();
+        self.poll_mode_switch();
+        self.cycle += 1;
+    }
+
+    // ---- commit ----
+
+    fn commit(&mut self) {
+        for _ in 0..self.config.width {
+            match self.rob.head() {
+                Some(h) if h.state == RobState::Done => {}
+                _ => break,
+            }
+            let e = self.rob.pop_head();
+            debug_assert!(!e.wp, "wrong-path instruction reached commit");
+            if let Some((reg, new, old)) = e.dst {
+                self.rename.commit_dst(reg, new, old);
+            }
+            if let Some(mem) = e.oracle.mem {
+                if mem.is_store {
+                    // Stores drain from the store buffer at commit; the
+                    // access warms the cache and consumes bandwidth but
+                    // never blocks retirement.
+                    let _ = self.mem.access(mem.addr, AccessKind::Store, self.cycle);
+                }
+                self.lsq.remove(e.uid);
+            }
+            self.retired += 1;
+            self.last_retire_cycle = self.cycle;
+        }
+    }
+
+    // ---- writeback ----
+
+    fn writeback(&mut self) {
+        while let Some(&Reverse((t, _, _))) = self.events.peek() {
+            if t > self.cycle {
+                break;
+            }
+            let Reverse((_, _, uid)) = self.events.pop().expect("peeked");
+            // Squashed instructions may leave stale completion events.
+            let Some(entry) = self.rob.get_mut(uid) else { continue };
+            entry.state = RobState::Done;
+            let dst = entry.dst;
+            let seq = entry.seq;
+            let mispredicted = entry.mispredicted;
+            if let Some((_, new, _)) = dst {
+                self.rename.set_ready(new);
+                self.iq.wakeup(new);
+            }
+            if mispredicted {
+                // The branch resolved: squash its wrong path and redirect
+                // fetch to the correct path (the refetched instructions pay
+                // the front-end depth before dispatching).
+                debug_assert!(
+                    self.wrong_path.as_ref().is_none_or(|wp| wp.branch_uid == uid),
+                    "resolving a branch that is not the active misprediction"
+                );
+                self.squash_younger(seq);
+                self.wrong_path = None;
+                self.fetch_stalled_until = self.fetch_stalled_until.max(self.cycle + 1);
+                self.last_fetch_line = None;
+            }
+        }
+    }
+
+    /// Misprediction recovery: removes every instruction younger than
+    /// `seq` from the whole pipeline, unwinding renames in reverse order.
+    fn squash_younger(&mut self, seq: u64) {
+        let squashed = self.rob.squash_younger(seq);
+        for e in &squashed {
+            // Youngest-first: rename map unwinds correctly.
+            if let Some((reg, new, old)) = e.dst {
+                self.rename.undo_dst(reg, new, old);
+            }
+            if e.oracle.mem.is_some() {
+                self.lsq.remove(e.uid);
+            }
+        }
+        self.stats.wrong_path_squashed += squashed.len() as u64;
+        // Anything younger still in the front end is wrong-path too.
+        self.decode_q.retain(|d| !d.wp);
+        self.iq.squash_younger(seq);
+        self.pending_loads.retain(|&(_, uid)| self.rob.get(uid).is_some());
+    }
+
+    // ---- execute (memory scheduling) ----
+
+    fn execute(&mut self) {
+        let mut still = Vec::new();
+        let pending = std::mem::take(&mut self.pending_loads);
+        for (ready, uid) in pending {
+            if ready > self.cycle {
+                still.push((ready, uid));
+                continue;
+            }
+            match self.lsq.load_action(uid) {
+                LoadAction::Wait => still.push((ready, uid)),
+                LoadAction::Forward => {
+                    self.lsq.mark_load_started(uid);
+                    self.stats.loads_forwarded += 1;
+                    let done = self.cycle + self.config.mem.l1d.hit_latency;
+                    self.schedule(uid, done.max(self.cycle + 1));
+                }
+                LoadAction::Access => {
+                    self.lsq.mark_load_started(uid);
+                    self.stats.loads_accessed += 1;
+                    let addr =
+                        self.rob.get(uid).expect("pending load in ROB").oracle.mem.expect("load").addr;
+                    let r = self.mem.access(addr, AccessKind::Load, self.cycle);
+                    self.schedule(uid, r.done_at.max(self.cycle + 1));
+                }
+            }
+        }
+        self.pending_loads = still;
+    }
+
+    fn schedule(&mut self, uid: u64, at: u64) {
+        let seq = self.rob.get(uid).expect("scheduling a live instruction").seq;
+        self.events.push(Reverse((at, seq, uid)));
+    }
+
+    // ---- issue ----
+
+    fn issue(&mut self) {
+        let mut budget =
+            IssueBudget::new(self.config.width, self.fus.free_counts(self.cycle));
+        let grants = self.iq.select(&mut budget);
+        for g in grants {
+            let uid = g.payload;
+            let entry = self.rob.get_mut(uid).expect("granted instruction in ROB");
+            entry.state = RobState::Executing;
+            let op = entry.oracle.inst.op;
+            self.fus.acquire(op, self.cycle);
+            if op.is_load() {
+                // Address generation completes next cycle; the memory access
+                // is scheduled by `execute` once the LSQ permits it.
+                self.pending_loads.push((self.cycle + 1, uid));
+            } else if op.is_store() {
+                // AGU computes the address; the LSQ learns it and younger
+                // loads may now disambiguate. The store is then complete
+                // from the ROB's point of view (data waits in the store
+                // buffer until commit).
+                self.lsq.mark_store_executed(uid);
+                self.schedule(uid, self.cycle + 1);
+            } else {
+                self.schedule(uid, self.cycle + op.latency() as u64);
+            }
+        }
+    }
+
+    // ---- dispatch (rename + allocate) ----
+
+    fn dispatch(&mut self) {
+        let mut iq_blocked = false;
+        for _ in 0..self.config.width {
+            let Some(front) = self.decode_q.front() else { break };
+            if front.ready_at > self.cycle {
+                break;
+            }
+            let d = *front;
+            let inst = d.front.oracle.inst;
+            let op = inst.op;
+            let needs_iq = op != Opcode::Nop;
+            if !self.rob.has_space() {
+                break;
+            }
+            if needs_iq && !self.iq.has_space() {
+                iq_blocked = true;
+                break;
+            }
+            if op.is_mem() && !self.lsq.has_space() {
+                break;
+            }
+            if let Some(dst) = inst.dest() {
+                if self.rename.free_count(dst.class) == 0 {
+                    break;
+                }
+            }
+
+            // All resources available: consume the instruction.
+            self.decode_q.pop_front();
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            let srcs = [
+                inst.src1.and_then(|r| self.rename.rename_src(r)),
+                inst.src2.and_then(|r| self.rename.rename_src(r)),
+            ];
+            let dst = inst.dest().map(|r| {
+                let (new, old) = self.rename.rename_dst(r).expect("free count checked");
+                (r, new, old)
+            });
+            if let Some(mem) = d.front.oracle.mem {
+                self.lsq.push(d.front.uid, mem.is_store, mem.addr, mem.size);
+            }
+            self.rob.push(RobEntry {
+                uid: d.front.uid,
+                seq,
+                oracle: d.front.oracle,
+                state: if needs_iq { RobState::Waiting } else { RobState::Done },
+                dst,
+                mispredicted: d.mispredicted,
+                wp: d.wp,
+            });
+            if needs_iq {
+                self.iq
+                    .dispatch(DispatchReq {
+                        seq,
+                        payload: d.front.uid,
+                        dst: dst.map(|(_, new, _)| new),
+                        srcs,
+                        fu: op.fu_class(),
+                    })
+                    .expect("has_space checked");
+            }
+            self.stats.dispatched += 1;
+        }
+        if iq_blocked {
+            self.stats.iq_stall_cycles += 1;
+        }
+    }
+
+    // ---- fetch ----
+
+    /// Maximum instructions buffered in the front end.
+    fn decode_capacity(&self) -> usize {
+        self.config.width * self.config.frontend_depth as usize
+    }
+
+    fn fetch(&mut self) {
+        if self.cycle < self.fetch_stalled_until {
+            return;
+        }
+        if matches!(&self.wrong_path, Some(wp) if wp.dead) {
+            // The wrong path ran out; nothing to fetch until resolution.
+            self.stats.mispredict_stall_cycles += 1;
+            return;
+        }
+        let mut fetched = 0;
+        while fetched < self.config.width && self.decode_q.len() < self.decode_capacity() {
+            // Where is the next instruction coming from?
+            enum Source {
+                WrongPath,
+                Replay,
+                Oracle,
+            }
+            let (pc, source) = if let Some(wp) = &self.wrong_path {
+                if wp.dead {
+                    break;
+                }
+                (wp.shadow.pc(), Source::WrongPath)
+            } else if let Some(f) = self.replay.front() {
+                (f.oracle.pc, Source::Replay)
+            } else if !self.emu_halted {
+                (self.emu.pc(), Source::Oracle)
+            } else {
+                break;
+            };
+
+            // Instruction-cache access, once per line.
+            let byte_addr = Program::byte_addr(pc);
+            let line = byte_addr / self.config.mem.l1i.line_bytes as u64;
+            if Some(line) != self.last_fetch_line {
+                let r = self.mem.access(byte_addr, AccessKind::IFetch, self.cycle);
+                self.last_fetch_line = Some(line);
+                if !r.l1_hit {
+                    self.fetch_stalled_until = r.done_at;
+                    self.stats.icache_stall_cycles += r.done_at - self.cycle;
+                    break;
+                }
+            }
+
+            // Obtain the instruction.
+            let is_wp = matches!(source, Source::WrongPath);
+            let front = match source {
+                Source::WrongPath => {
+                    let wp = self.wrong_path.as_mut().expect("checked above");
+                    match wp.shadow.step(&self.emu) {
+                        Ok(r) if r.inst.op == Opcode::Halt => {
+                            wp.dead = true;
+                            break;
+                        }
+                        Ok(r) => {
+                            let uid = self.next_uid;
+                            self.next_uid += 1;
+                            self.stats.wrong_path_fetched += 1;
+                            FrontInst { uid, oracle: r }
+                        }
+                        Err(_) => {
+                            // Wrong path ran off the instruction text.
+                            wp.dead = true;
+                            break;
+                        }
+                    }
+                }
+                Source::Replay => {
+                    let f = self.replay.pop_front().expect("checked above");
+                    self.stats.replayed += 1;
+                    f
+                }
+                Source::Oracle => {
+                    let retired = self.emu.step().expect("well-formed program");
+                    if retired.inst.op == Opcode::Halt {
+                        self.emu_halted = true;
+                        break;
+                    }
+                    let uid = self.next_uid;
+                    self.next_uid += 1;
+                    FrontInst { uid, oracle: retired }
+                }
+            };
+
+            // Branch prediction (correct path only; wrong-path control flow
+            // follows the shadow emulator's outcomes).
+            let mut mispredicted = false;
+            let mut end_group = false;
+            let op = front.oracle.inst.op;
+            let mut prediction = None;
+            if op.is_control() {
+                if is_wp {
+                    if front.oracle.taken() {
+                        end_group = true;
+                        self.last_fetch_line = None;
+                    }
+                } else {
+                    let kind = match op {
+                        Opcode::Jr => BranchKind::IndirectJump,
+                        Opcode::J | Opcode::Jal => BranchKind::DirectJump,
+                        _ => BranchKind::Conditional,
+                    };
+                    let pred = self.bp.predict(byte_addr, kind);
+                    let outcome = BranchOutcome {
+                        taken: front.oracle.taken(),
+                        target: Program::byte_addr(front.oracle.next_pc),
+                    };
+                    mispredicted = self.bp.update(byte_addr, kind, pred, outcome);
+                    prediction = Some(pred);
+                    if front.oracle.taken() {
+                        end_group = true;
+                        self.last_fetch_line = None;
+                    }
+                }
+            }
+
+            self.decode_q.push_back(DecodedInst {
+                front,
+                ready_at: self.cycle + self.config.frontend_depth,
+                mispredicted,
+                wp: is_wp,
+            });
+            fetched += 1;
+
+            if mispredicted {
+                // Start fetching the predicted (wrong) path; it is squashed
+                // when this branch resolves.
+                let wrong_pc = match op {
+                    // Conditional: the not-taken/taken alternative.
+                    Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge => {
+                        if front.oracle.taken() {
+                            Some(pc + 1)
+                        } else {
+                            Some(front.oracle.inst.imm as u64)
+                        }
+                    }
+                    // Indirect: whatever stale target the BTB supplied, if
+                    // any; a cold BTB gives the front end nowhere to go.
+                    Opcode::Jr => prediction
+                        .and_then(|p| p.target)
+                        .map(|t| t >> 2)
+                        .filter(|&t| t != front.oracle.next_pc),
+                    _ => None,
+                };
+                self.wrong_path = Some(match wrong_pc {
+                    Some(wpc) => WrongPath {
+                        branch_uid: front.uid,
+                        shadow: self.emu.shadow(wpc),
+                        dead: false,
+                    },
+                    None => WrongPath {
+                        branch_uid: front.uid,
+                        shadow: self.emu.shadow(0),
+                        dead: true,
+                    },
+                });
+                self.last_fetch_line = None;
+                break;
+            }
+            if end_group {
+                break;
+            }
+        }
+    }
+
+    // ---- SWQUE mode switching ----
+
+    fn poll_mode_switch(&mut self) {
+        if self.iq.poll_mode_switch(self.retired, self.mem.llc_demand_misses()) {
+            self.full_flush();
+            self.fetch_stalled_until = self.cycle + self.config.iq.swque.switch_penalty;
+            self.stats.mode_switch_flushes += 1;
+        }
+    }
+
+    /// Squashes every in-flight instruction and queues them (in program
+    /// order) for replay through the front end.
+    fn full_flush(&mut self) {
+        // Wrong-path instructions are dropped outright (they are refetched
+        // never; the mispredicted branch itself is correct-path and will be
+        // re-predicted on replay). Everything else replays in order.
+        let mut replay: VecDeque<FrontInst> = self
+            .rob
+            .drain_in_order()
+            .into_iter()
+            .filter(|e| !e.wp)
+            .map(|e| FrontInst { uid: e.uid, oracle: e.oracle })
+            .collect();
+        replay.extend(self.decode_q.drain(..).filter(|d| !d.wp).map(|d| d.front));
+        replay.append(&mut self.replay);
+        self.replay = replay;
+
+        self.events.clear();
+        self.pending_loads.clear();
+        self.iq.flush();
+        self.lsq.clear();
+        self.fus.reset();
+        self.rename.recover();
+        self.wrong_path = None;
+        self.last_fetch_line = None;
+    }
+}

@@ -1,0 +1,129 @@
+//! Function-unit pool: per-class occupancy tracking.
+//!
+//! All units are pipelined (a new operation may start every cycle) except
+//! the integer divider and FP divide/sqrt, which occupy their unit for the
+//! full operation latency, as in SimpleScalar's resource model.
+
+use swque_isa::{FuClass, Opcode};
+
+/// Pool of function units with busy-until bookkeeping.
+#[derive(Debug, Clone)]
+pub struct FuPool {
+    /// `busy_until[class][unit]`: first cycle the unit is free again.
+    busy_until: [Vec<u64>; 4],
+}
+
+/// Whether `op` monopolizes its unit for the full latency.
+fn unpipelined(op: Opcode) -> bool {
+    matches!(op, Opcode::Div | Opcode::Rem | Opcode::FDiv | Opcode::FSqrt)
+}
+
+impl FuPool {
+    /// Creates a pool with `counts[c]` units of each class (indexed by
+    /// [`FuClass::index`]).
+    pub fn new(counts: [usize; 4]) -> FuPool {
+        FuPool {
+            busy_until: [
+                vec![0; counts[0]],
+                vec![0; counts[1]],
+                vec![0; counts[2]],
+                vec![0; counts[3]],
+            ],
+        }
+    }
+
+    /// Units of `class` free at cycle `now`.
+    pub fn free_count(&self, class: FuClass, now: u64) -> usize {
+        self.busy_until[class.index()].iter().filter(|&&b| b <= now).count()
+    }
+
+    /// Free counts for all classes (the issue budget).
+    pub fn free_counts(&self, now: u64) -> [usize; 4] {
+        [
+            self.free_count(FuClass::IntAlu, now),
+            self.free_count(FuClass::IntMulDiv, now),
+            self.free_count(FuClass::LdSt, now),
+            self.free_count(FuClass::Fpu, now),
+        ]
+    }
+
+    /// Occupies one unit of the class needed by `op`, starting at `now`.
+    /// Pipelined ops hold the unit's issue slot for one cycle; unpipelined
+    /// ops hold it for their full latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no unit is free (callers budget with
+    /// [`free_counts`](Self::free_counts) first).
+    pub fn acquire(&mut self, op: Opcode, now: u64) {
+        let class = op.fu_class();
+        let hold = if unpipelined(op) { op.latency() as u64 } else { 1 };
+        let unit = self.busy_until[class.index()]
+            .iter_mut()
+            .find(|b| **b <= now)
+            .unwrap_or_else(|| panic!("no free {class} unit at cycle {now}"));
+        *unit = now + hold;
+    }
+
+    /// Releases every unit (full flush).
+    pub fn reset(&mut self) {
+        for class in &mut self.busy_until {
+            class.fill(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_units_free_next_cycle() {
+        let mut p = FuPool::new([2, 1, 2, 2]);
+        assert_eq!(p.free_count(FuClass::IntAlu, 0), 2);
+        p.acquire(Opcode::Add, 0);
+        assert_eq!(p.free_count(FuClass::IntAlu, 0), 1);
+        assert_eq!(p.free_count(FuClass::IntAlu, 1), 2, "pipelined: free again next cycle");
+    }
+
+    #[test]
+    fn divider_blocks_for_full_latency() {
+        let mut p = FuPool::new([1, 1, 1, 1]);
+        p.acquire(Opcode::Div, 0);
+        assert_eq!(p.free_count(FuClass::IntMulDiv, 1), 0);
+        assert_eq!(p.free_count(FuClass::IntMulDiv, Opcode::Div.latency() as u64 - 1), 0);
+        assert_eq!(p.free_count(FuClass::IntMulDiv, Opcode::Div.latency() as u64), 1);
+    }
+
+    #[test]
+    fn multiplier_is_pipelined() {
+        let mut p = FuPool::new([1, 1, 1, 1]);
+        p.acquire(Opcode::Mul, 0);
+        assert_eq!(p.free_count(FuClass::IntMulDiv, 1), 1, "a mul can start every cycle");
+    }
+
+    #[test]
+    fn free_counts_vector() {
+        let mut p = FuPool::new([3, 1, 2, 2]);
+        p.acquire(Opcode::Add, 5);
+        p.acquire(Opcode::Ld, 5);
+        assert_eq!(p.free_counts(5), [2, 1, 1, 2]);
+        assert_eq!(p.free_counts(6), [3, 1, 2, 2]);
+    }
+
+    #[test]
+    fn reset_frees_everything() {
+        let mut p = FuPool::new([1, 1, 1, 1]);
+        p.acquire(Opcode::FDiv, 0);
+        p.reset();
+        assert_eq!(p.free_count(FuClass::Fpu, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no free")]
+    fn overcommit_panics() {
+        let mut p = FuPool::new([1, 1, 1, 1]);
+        p.acquire(Opcode::Add, 0);
+        p.acquire(Opcode::Sub, 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Simulation results and core-level statistics.
+
+use swque_branch::BranchStats;
+use swque_core::{IqStats, SwqueStats};
+use swque_mem::MemStats;
+
+/// Counters owned by the core model itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Instructions dispatched (renamed and entered into the ROB).
+    pub dispatched: u64,
+    /// Loads that accessed the memory hierarchy.
+    pub loads_accessed: u64,
+    /// Loads satisfied by store-to-load forwarding.
+    pub loads_forwarded: u64,
+    /// Cycles fetch sat blocked on an unresolved mispredicted branch.
+    pub mispredict_stall_cycles: u64,
+    /// Full pipeline flushes triggered by SWQUE mode switches.
+    pub mode_switch_flushes: u64,
+    /// Instructions replayed through the front end after a flush.
+    pub replayed: u64,
+    /// Cycles in which no instruction could be dispatched because the IQ
+    /// had no allocatable entry (capacity pressure).
+    pub iq_stall_cycles: u64,
+    /// Cycles fetch sat waiting on the instruction cache.
+    pub icache_stall_cycles: u64,
+    /// Wrong-path instructions fetched past mispredicted branches.
+    pub wrong_path_fetched: u64,
+    /// Instructions removed by misprediction squashes.
+    pub wrong_path_squashed: u64,
+}
+
+/// The outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Retired (committed) instructions.
+    pub retired: u64,
+    /// Issue-queue counters.
+    pub iq: IqStats,
+    /// SWQUE mode statistics, if the queue switches modes.
+    pub swque: Option<SwqueStats>,
+    /// Memory-hierarchy counters.
+    pub mem: MemStats,
+    /// Branch-prediction counters.
+    pub branch: BranchStats,
+    /// Core counters.
+    pub core: CoreStats,
+}
+
+impl CoreStats {
+    /// Counter difference `self - earlier` (for measurement windows that
+    /// exclude warmup).
+    pub fn delta(&self, earlier: &CoreStats) -> CoreStats {
+        CoreStats {
+            dispatched: self.dispatched - earlier.dispatched,
+            loads_accessed: self.loads_accessed - earlier.loads_accessed,
+            loads_forwarded: self.loads_forwarded - earlier.loads_forwarded,
+            mispredict_stall_cycles: self.mispredict_stall_cycles
+                - earlier.mispredict_stall_cycles,
+            mode_switch_flushes: self.mode_switch_flushes - earlier.mode_switch_flushes,
+            replayed: self.replayed - earlier.replayed,
+            iq_stall_cycles: self.iq_stall_cycles - earlier.iq_stall_cycles,
+            icache_stall_cycles: self.icache_stall_cycles - earlier.icache_stall_cycles,
+            wrong_path_fetched: self.wrong_path_fetched - earlier.wrong_path_fetched,
+            wrong_path_squashed: self.wrong_path_squashed - earlier.wrong_path_squashed,
+        }
+    }
+}
+
+impl SimResult {
+    /// The measurement window `self - earlier`: every counter becomes the
+    /// difference since the `earlier` snapshot, so warmup (cold caches,
+    /// cold predictors) is excluded the way the paper's 16-billion-
+    /// instruction skip excludes it.
+    pub fn delta(&self, earlier: &SimResult) -> SimResult {
+        SimResult {
+            cycles: self.cycles - earlier.cycles,
+            retired: self.retired - earlier.retired,
+            iq: self.iq.delta(&earlier.iq),
+            swque: match (&self.swque, &earlier.swque) {
+                (Some(now), Some(then)) => Some(now.delta(then)),
+                (now, _) => *now,
+            },
+            mem: self.mem.delta(&earlier.mem),
+            branch: self.branch.delta(&earlier.branch),
+            core: self.core.delta(&earlier.core),
+        }
+    }
+
+    /// Retired instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// LLC misses per kilo-instruction over the whole run.
+    pub fn mpki(&self) -> f64 {
+        self.mem.mpki(self.retired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_definition() {
+        let r = SimResult {
+            cycles: 500,
+            retired: 1000,
+            iq: IqStats::default(),
+            swque: None,
+            mem: MemStats::default(),
+            branch: BranchStats::default(),
+            core: CoreStats::default(),
+        };
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycle_ipc_is_zero() {
+        let r = SimResult {
+            cycles: 0,
+            retired: 0,
+            iq: IqStats::default(),
+            swque: None,
+            mem: MemStats::default(),
+            branch: BranchStats::default(),
+            core: CoreStats::default(),
+        };
+        assert_eq!(r.ipc(), 0.0);
+    }
+}

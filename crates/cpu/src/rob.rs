@@ -1,0 +1,211 @@
+//! Reorder buffer: program-order retirement of out-of-order execution.
+
+use std::collections::{HashMap, VecDeque};
+
+use swque_isa::{ArchReg, Retired};
+
+use swque_core::Tag;
+
+/// Execution state of a ROB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobState {
+    /// Waiting in the issue queue (or not yet issued).
+    Waiting,
+    /// Issued to a function unit / memory.
+    Executing,
+    /// Result written back; eligible for commit.
+    Done,
+}
+
+/// One in-flight instruction.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Stable identity of the dynamic instruction (survives replays).
+    pub uid: u64,
+    /// Dispatch-order sequence number (fresh per dispatch).
+    pub seq: u64,
+    /// The oracle outcome (instruction, next pc, memory access).
+    pub oracle: Retired,
+    /// Execution state.
+    pub state: RobState,
+    /// Destination rename `(arch, new_tag, old_tag)`, if any.
+    pub dst: Option<(ArchReg, Tag, Tag)>,
+    /// True if the front end flagged this control instruction mispredicted.
+    pub mispredicted: bool,
+    /// True for wrong-path instructions (fetched past a mispredicted
+    /// branch); they are squashed when the branch resolves and never
+    /// commit.
+    pub wp: bool,
+}
+
+/// A bounded, program-ordered reorder buffer keyed by instruction uid.
+#[derive(Debug)]
+pub struct Rob {
+    capacity: usize,
+    order: VecDeque<u64>,
+    entries: HashMap<u64, RobEntry>,
+}
+
+impl Rob {
+    /// Creates an empty ROB of `capacity` entries.
+    pub fn new(capacity: usize) -> Rob {
+        Rob { capacity, order: VecDeque::with_capacity(capacity), entries: HashMap::new() }
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when no instruction is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// True if another instruction can dispatch.
+    pub fn has_space(&self) -> bool {
+        self.order.len() < self.capacity
+    }
+
+    /// Appends an entry at the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if full or if `uid` is already present.
+    pub fn push(&mut self, entry: RobEntry) {
+        assert!(self.has_space(), "ROB overflow");
+        let uid = entry.uid;
+        let prev = self.entries.insert(uid, entry);
+        assert!(prev.is_none(), "duplicate ROB uid {uid}");
+        self.order.push_back(uid);
+    }
+
+    /// Looks up an entry by uid.
+    pub fn get(&self, uid: u64) -> Option<&RobEntry> {
+        self.entries.get(&uid)
+    }
+
+    /// Mutable lookup by uid.
+    pub fn get_mut(&mut self, uid: u64) -> Option<&mut RobEntry> {
+        self.entries.get_mut(&uid)
+    }
+
+    /// The oldest in-flight entry, if any.
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.order.front().map(|uid| &self.entries[uid])
+    }
+
+    /// Retires the head entry (must be `Done`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or if the head has not completed.
+    pub fn pop_head(&mut self) -> RobEntry {
+        let uid = self.order.pop_front().expect("pop from empty ROB");
+        let entry = self.entries.remove(&uid).expect("order/entries in sync");
+        assert_eq!(entry.state, RobState::Done, "commit of incomplete instruction");
+        entry
+    }
+
+    /// Removes every entry younger than `seq` (exclusive), returning them
+    /// youngest-first so the caller can unwind renames in reverse order.
+    pub fn squash_younger(&mut self, seq: u64) -> Vec<RobEntry> {
+        let mut out = Vec::new();
+        while let Some(uid) = self.order.back() {
+            if self.entries[uid].seq <= seq {
+                break;
+            }
+            let uid = self.order.pop_back().expect("non-empty");
+            out.push(self.entries.remove(&uid).expect("order/entries in sync"));
+        }
+        out
+    }
+
+    /// Drains every in-flight entry in program order (full flush). The
+    /// caller replays them through the front end.
+    pub fn drain_in_order(&mut self) -> Vec<RobEntry> {
+        let mut out = Vec::with_capacity(self.order.len());
+        for uid in self.order.drain(..) {
+            out.push(self.entries.remove(&uid).expect("order/entries in sync"));
+        }
+        out
+    }
+
+    /// Iterates in program order.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> + '_ {
+        self.order.iter().map(|uid| &self.entries[uid])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swque_isa::{Inst, Opcode};
+
+    fn entry(uid: u64) -> RobEntry {
+        RobEntry {
+            uid,
+            seq: uid,
+            oracle: Retired {
+                pc: uid,
+                inst: Inst::bare(Opcode::Nop),
+                next_pc: uid + 1,
+                mem: None,
+            },
+            state: RobState::Waiting,
+            dst: None,
+            mispredicted: false,
+            wp: false,
+        }
+    }
+
+    #[test]
+    fn fifo_commit_order() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(1));
+        rob.push(entry(2));
+        rob.get_mut(1).unwrap().state = RobState::Done;
+        rob.get_mut(2).unwrap().state = RobState::Done;
+        assert_eq!(rob.pop_head().uid, 1);
+        assert_eq!(rob.pop_head().uid, 2);
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn commit_of_waiting_head_panics() {
+        let mut rob = Rob::new(2);
+        rob.push(entry(1));
+        let _ = rob.pop_head();
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut rob = Rob::new(2);
+        rob.push(entry(1));
+        rob.push(entry(2));
+        assert!(!rob.has_space());
+    }
+
+    #[test]
+    fn drain_preserves_program_order() {
+        let mut rob = Rob::new(4);
+        for uid in [10, 11, 12] {
+            rob.push(entry(uid));
+        }
+        let drained = rob.drain_in_order();
+        assert_eq!(drained.iter().map(|e| e.uid).collect::<Vec<_>>(), vec![10, 11, 12]);
+        assert!(rob.is_empty());
+        assert!(rob.get(11).is_none());
+    }
+
+    #[test]
+    fn out_of_order_completion_in_order_commit() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(1));
+        rob.push(entry(2));
+        rob.get_mut(2).unwrap().state = RobState::Done; // younger completes first
+        assert_eq!(rob.head().unwrap().uid, 1);
+        assert_eq!(rob.head().unwrap().state, RobState::Waiting, "head not committable yet");
+    }
+}

@@ -1,0 +1,108 @@
+//! Instruction representation.
+
+use std::fmt;
+
+use crate::op::Opcode;
+use crate::reg::ArchReg;
+
+/// A decoded instruction.
+///
+/// All instructions use up to one destination and two source registers plus a
+/// 64-bit immediate. The meaning of each field depends on the opcode group
+/// (see [`Opcode`]):
+///
+/// * ALU reg-reg: `dst`, `src1`, `src2`.
+/// * ALU immediate: `dst`, `src1`, `imm`.
+/// * Load: `dst`, `src1` = base, `imm` = displacement.
+/// * Store: `src1` = base, `src2` = value, `imm` = displacement.
+/// * Conditional branch: `src1`, `src2` compared, `imm` = target pc.
+/// * `J`/`Jal`: `imm` = target pc (`Jal` also writes `dst` = link).
+/// * `Jr`: `src1` = target address register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// The operation.
+    pub op: Opcode,
+    /// Destination register, if the instruction writes one.
+    pub dst: Option<ArchReg>,
+    /// First source register.
+    pub src1: Option<ArchReg>,
+    /// Second source register.
+    pub src2: Option<ArchReg>,
+    /// Immediate operand (displacement, branch target, or literal).
+    pub imm: i64,
+}
+
+impl Inst {
+    /// Creates an instruction with no operands (e.g. `Nop`, `Halt`).
+    pub fn bare(op: Opcode) -> Inst {
+        Inst { op, dst: None, src1: None, src2: None, imm: 0 }
+    }
+
+    /// Iterator over the (up to two) source registers, skipping `None` and
+    /// the hardwired-zero register, which never creates a dependence.
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        [self.src1, self.src2].into_iter().flatten().filter(|r| !r.is_zero())
+    }
+
+    /// The destination register, unless it is the hardwired zero (writes to
+    /// `r0` are discarded and create no dependence).
+    pub fn dest(&self) -> Option<ArchReg> {
+        self.dst.filter(|r| !r.is_zero())
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        let mut sep = " ";
+        if let Some(d) = self.dst {
+            write!(f, "{sep}{d}")?;
+            sep = ", ";
+        }
+        if let Some(s) = self.src1 {
+            write!(f, "{sep}{s}")?;
+            sep = ", ";
+        }
+        if let Some(s) = self.src2 {
+            write!(f, "{sep}{s}")?;
+            sep = ", ";
+        }
+        if self.imm != 0 || self.op.is_mem() || self.op.is_control() || self.op == Opcode::Li {
+            write!(f, "{sep}{}", self.imm)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{ArchReg, Reg};
+
+    #[test]
+    fn zero_register_filtered_from_dependences() {
+        let i = Inst {
+            op: Opcode::Add,
+            dst: Some(Reg::ZERO.into()),
+            src1: Some(Reg::ZERO.into()),
+            src2: Some(Reg(3).into()),
+            imm: 0,
+        };
+        assert_eq!(i.dest(), None);
+        let srcs: Vec<ArchReg> = i.sources().collect();
+        assert_eq!(srcs, vec![ArchReg::int(3)]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let i = Inst {
+            op: Opcode::Ld,
+            dst: Some(Reg(4).into()),
+            src1: Some(Reg(1).into()),
+            src2: None,
+            imm: 16,
+        };
+        assert_eq!(i.to_string(), "ld r4, r1, 16");
+        assert_eq!(Inst::bare(Opcode::Nop).to_string(), "nop");
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the ISA substrate: sparse memory vs a byte-map
+//! model, and emulator/shadow agreement on straight-line code.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use swque_isa::{disassemble, parse_program, Assembler, Emulator, Opcode, Reg, SparseMemory};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// SparseMemory agrees with a plain byte map under interleaved u8/u64
+    /// reads and writes at arbitrary (including straddling) addresses.
+    #[test]
+    fn sparse_memory_matches_byte_map(
+        ops in proptest::collection::vec((0u64..10_000, any::<u64>(), any::<bool>()), 1..200)
+    ) {
+        let mut mem = SparseMemory::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for (addr, value, word) in ops {
+            if word {
+                mem.write_u64(addr, value);
+                for (i, b) in value.to_le_bytes().iter().enumerate() {
+                    model.insert(addr + i as u64, *b);
+                }
+            } else {
+                mem.write_u8(addr, value as u8);
+                model.insert(addr, value as u8);
+            }
+            // Check a word read at the write address.
+            let mut expect = [0u8; 8];
+            for (i, e) in expect.iter_mut().enumerate() {
+                *e = model.get(&(addr + i as u64)).copied().unwrap_or(0);
+            }
+            prop_assert_eq!(mem.read_u64(addr), u64::from_le_bytes(expect));
+        }
+    }
+
+    /// The wrong-path shadow emulator computes exactly what the real
+    /// emulator computes when run over the same straight-line code — it
+    /// differs only in where results are stored.
+    #[test]
+    fn shadow_agrees_with_emulator_on_straight_line_code(
+        vals in proptest::collection::vec(any::<i32>(), 4..20)
+    ) {
+        let mut a = Assembler::new();
+        for (i, v) in vals.iter().enumerate() {
+            let dst = Reg(1 + (i % 8) as u8);
+            let src = Reg(1 + ((i + 3) % 8) as u8);
+            match i % 5 {
+                0 => a.li(dst, *v as i64),
+                1 => a.addi(dst, src, *v as i64),
+                2 => a.xori(dst, src, *v as i64),
+                3 => a.add(dst, src, Reg(1 + ((i + 5) % 8) as u8)),
+                _ => a.slli(dst, src, (*v & 31) as i64),
+            }
+        }
+        a.halt();
+        let program = a.finish().unwrap();
+
+        let mut emu = Emulator::new(&program);
+        let reference = Emulator::new(&program);
+        let mut shadow = reference.shadow(0);
+        loop {
+            let real = emu.step().unwrap();
+            let shadowed = shadow.step(&reference).unwrap();
+            prop_assert_eq!(real.inst, shadowed.inst);
+            prop_assert_eq!(real.next_pc, shadowed.next_pc);
+            if real.inst.op == Opcode::Halt {
+                break;
+            }
+        }
+    }
+
+    /// Disassemble → reparse is the identity on instructions, for random
+    /// straight-line + branchy programs.
+    #[test]
+    fn disassembly_round_trips(ops in proptest::collection::vec((any::<u8>(), any::<i16>()), 1..60)) {
+        let mut a = Assembler::new();
+        let mut label = 0u32;
+        for (op, imm) in &ops {
+            let dst = Reg(1 + (op % 12));
+            let src = Reg(1 + (op.wrapping_add(5) % 12));
+            match op % 7 {
+                0 => a.li(dst, *imm as i64),
+                1 => a.add(dst, src, Reg(1)),
+                2 => a.xori(dst, src, *imm as i64),
+                3 => a.ld(dst, src, (*imm as i64) & !7),
+                4 => a.st(dst, src, (*imm as i64) & !7),
+                5 => {
+                    let l = format!("p{label}");
+                    label += 1;
+                    a.beq(dst, src, &l);
+                    a.nop();
+                    a.label(&l);
+                }
+                _ => a.mul(dst, src, Reg(2)),
+            }
+        }
+        a.halt();
+        let p = a.finish().unwrap();
+        let text = disassemble(&p);
+        let q = parse_program(&text).expect("reparse");
+        prop_assert_eq!(p.insts, q.insts);
+    }
+
+    /// Assembled programs are position-faithful: `here()` equals the
+    /// eventual instruction index of the next emitted instruction.
+    #[test]
+    fn assembler_here_is_consistent(n in 1usize..40) {
+        let mut a = Assembler::new();
+        let mut marks = Vec::new();
+        for i in 0..n {
+            marks.push(a.here());
+            a.addi(Reg(1), Reg(1), i as i64);
+        }
+        a.halt();
+        let program = a.finish().unwrap();
+        prop_assert_eq!(program.len(), n + 1);
+        for (i, m) in marks.iter().enumerate() {
+            prop_assert_eq!(*m, i as u64);
+        }
+    }
+}

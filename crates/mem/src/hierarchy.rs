@@ -1,0 +1,311 @@
+//! The full memory hierarchy: L1s backed by a unified L2 backed by DRAM,
+//! with MSHR-limited miss overlap and an L2 stream prefetcher.
+
+use std::collections::HashMap;
+
+use crate::cache::Cache;
+use crate::config::MemConfig;
+use crate::dram::Dram;
+use crate::prefetch::StreamPrefetcher;
+use crate::stats::MemStats;
+
+/// The type of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Data load.
+    Load,
+    /// Data store (write-allocate: timed like a load for line fill).
+    Store,
+    /// Instruction fetch.
+    IFetch,
+}
+
+/// Timing outcome of an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Cycle at which the data is available.
+    pub done_at: u64,
+    /// Hit in the first-level cache.
+    pub l1_hit: bool,
+    /// Hit in the L2 (meaningful only when `l1_hit` is false).
+    pub l2_hit: bool,
+}
+
+/// The memory hierarchy timing model.
+///
+/// Because the functional emulator owns the data, the hierarchy only tracks
+/// tags and timing. The core simulator stamps every access with the cycle at
+/// which it starts; accesses may arrive out of cycle order (loads issue out
+/// of order), which the model tolerates.
+#[derive(Debug)]
+pub struct MemoryHierarchy {
+    config: MemConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    dram: Dram,
+    prefetcher: Option<StreamPrefetcher>,
+    /// Outstanding L1D misses: L1-line address → completion cycle.
+    mshr: HashMap<u64, u64>,
+    /// In-flight L2 fills (demand or prefetch): L2-line → completion cycle.
+    inflight_l2: HashMap<u64, u64>,
+    stats: MemStats,
+}
+
+impl MemoryHierarchy {
+    /// Creates the hierarchy from `config`.
+    pub fn new(config: MemConfig) -> MemoryHierarchy {
+        MemoryHierarchy {
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            dram: Dram::new(
+                config.dram_latency,
+                config.dram_bytes_per_cycle,
+                config.l2.line_bytes as u64,
+            ),
+            prefetcher: config.prefetch.map(StreamPrefetcher::new),
+            mshr: HashMap::new(),
+            inflight_l2: HashMap::new(),
+            stats: MemStats::default(),
+            config,
+        }
+    }
+
+    /// The configuration the hierarchy was built with.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics (cache counters are merged in on read).
+    pub fn stats(&self) -> MemStats {
+        let mut s = self.stats;
+        s.l1i = self.l1i.stats();
+        s.l1d = self.l1d.stats();
+        s.l2 = self.l2.stats();
+        s.dram_transfers = self.dram.transfers();
+        s
+    }
+
+    /// Demand LLC misses so far (the paper's MPKI numerator).
+    pub fn llc_demand_misses(&self) -> u64 {
+        self.stats.llc_demand_misses
+    }
+
+    fn purge(&mut self, now: u64) {
+        // Keep the in-flight maps small; entries strictly in the past can go.
+        if self.mshr.len() > 64 {
+            self.mshr.retain(|_, done| *done > now);
+        }
+        if self.inflight_l2.len() > 256 {
+            self.inflight_l2.retain(|_, done| *done > now);
+        }
+    }
+
+    /// Performs an access starting at cycle `now`; returns its timing.
+    pub fn access(&mut self, addr: u64, kind: AccessKind, now: u64) -> AccessResult {
+        self.purge(now);
+        let is_data = kind != AccessKind::IFetch;
+        let l1 = if is_data { &mut self.l1d } else { &mut self.l1i };
+        let l1_lat = l1.config().hit_latency;
+        let l1_line = l1.line_addr(addr);
+
+        if l1.access(addr) {
+            // A hit may still be to a line whose fill is in flight.
+            if let Some(&done) = self.mshr.get(&l1_line) {
+                if done > now && is_data {
+                    return AccessResult { done_at: done, l1_hit: true, l2_hit: false };
+                }
+            }
+            return AccessResult { done_at: now + l1_lat, l1_hit: true, l2_hit: false };
+        }
+
+        // L1 miss. Merge into an outstanding MSHR for the same line if any.
+        if is_data {
+            if let Some(&done) = self.mshr.get(&l1_line) {
+                if done > now {
+                    self.stats.mshr_merges += 1;
+                    return AccessResult { done_at: done, l1_hit: false, l2_hit: false };
+                }
+            }
+        }
+
+        // MSHR occupancy limits when a new data miss may start.
+        let mut start = now;
+        if is_data {
+            loop {
+                let busy = self.mshr.values().filter(|&&d| d > start).count();
+                if busy < self.config.mshrs {
+                    break;
+                }
+                let earliest = self
+                    .mshr
+                    .values()
+                    .filter(|&&d| d > start)
+                    .copied()
+                    .min()
+                    .expect("busy > 0 implies a pending completion");
+                self.stats.mshr_stall_cycles += earliest - start;
+                start = earliest;
+            }
+        }
+
+        // L2 lookup.
+        let l2_line = self.l2.line_addr(addr);
+        let l2_lookup_at = start + l1_lat;
+        let l2_hit = self.l2.access(addr);
+        let done_at;
+        if l2_hit {
+            let mut done = l2_lookup_at + self.config.l2.hit_latency;
+            // Hit to a line still being filled (e.g. by a prefetch in
+            // flight): wait for the fill.
+            if let Some(&fill_done) = self.inflight_l2.get(&l2_line) {
+                if fill_done > done {
+                    done = fill_done;
+                }
+            }
+            done_at = done;
+        } else {
+            self.stats.llc_demand_misses += 1;
+            let done = self.dram.request(l2_lookup_at + self.config.l2.hit_latency);
+            self.l2.fill(addr, false);
+            self.inflight_l2.insert(l2_line, done);
+            done_at = done;
+        }
+
+        // Prefetcher observes the L2 demand stream (instruction fetch
+        // streams train it too — sequential code behaves like any other
+        // ascending stream at the L2).
+        {
+            if let Some(pf) = &mut self.prefetcher {
+                let requests = pf.observe(l2_line, !l2_hit);
+                for line in requests {
+                    let byte_addr = line << self.config.l2.line_bytes.trailing_zeros();
+                    if !self.l2.contains(byte_addr) {
+                        let done = self.dram.request(done_at);
+                        self.l2.fill(byte_addr, true);
+                        self.inflight_l2.insert(line, done);
+                    }
+                }
+            }
+        }
+
+        // Fill L1 and remember the outstanding miss.
+        l1.fill(addr, false);
+        if is_data {
+            self.mshr.insert(l1_line, done_at);
+        }
+
+        AccessResult { done_at, l1_hit: false, l2_hit }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheConfig, PrefetchConfig};
+
+    fn no_prefetch() -> MemConfig {
+        MemConfig { prefetch: None, ..MemConfig::default() }
+    }
+
+    #[test]
+    fn cold_miss_pays_full_path_then_hits() {
+        let mut m = MemoryHierarchy::new(no_prefetch());
+        let r = m.access(0x10000, AccessKind::Load, 0);
+        assert!(!r.l1_hit && !r.l2_hit);
+        // l1(2) + l2(12) + dram(300)
+        assert_eq!(r.done_at, 314);
+        let r2 = m.access(0x10000, AccessKind::Load, r.done_at);
+        assert!(r2.l1_hit);
+        assert_eq!(r2.done_at, r.done_at + 2);
+    }
+
+    #[test]
+    fn independent_misses_overlap_in_dram() {
+        let mut m = MemoryHierarchy::new(no_prefetch());
+        let a = m.access(0x100000, AccessKind::Load, 0);
+        let b = m.access(0x200000, AccessKind::Load, 0);
+        assert!(b.done_at < a.done_at + 50, "misses overlap, not serialize");
+        assert_eq!(m.stats().llc_demand_misses, 2);
+    }
+
+    #[test]
+    fn same_line_misses_merge_in_mshr() {
+        let mut m = MemoryHierarchy::new(no_prefetch());
+        let a = m.access(0x10000, AccessKind::Load, 0);
+        let b = m.access(0x10008, AccessKind::Load, 1);
+        assert_eq!(b.done_at, a.done_at, "second access waits on the same in-flight line");
+        assert_eq!(m.stats().l1d.misses, 1, "tag fill happens at request time");
+        assert_eq!(m.stats().llc_demand_misses, 1);
+    }
+
+    #[test]
+    fn mshr_limit_serializes_excess_misses() {
+        let mut cfg = no_prefetch();
+        cfg.mshrs = 2;
+        let mut m = MemoryHierarchy::new(cfg);
+        let a = m.access(0x100000, AccessKind::Load, 0);
+        let b = m.access(0x200000, AccessKind::Load, 0);
+        let c = m.access(0x300000, AccessKind::Load, 0);
+        assert!(c.done_at >= a.done_at.min(b.done_at), "third miss waits for an MSHR");
+        assert!(m.stats().mshr_stall_cycles > 0);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        // Tiny L1 forces eviction; L2 keeps the line.
+        let mut cfg = no_prefetch();
+        cfg.l1d = CacheConfig { size_bytes: 128, ways: 1, line_bytes: 64, hit_latency: 2 };
+        let mut m = MemoryHierarchy::new(cfg);
+        let a = m.access(0x0, AccessKind::Load, 0);
+        // Conflict: same L1 set (2 sets of 64B), different L2 set.
+        let _ = m.access(0x80, AccessKind::Load, a.done_at);
+        let c = m.access(0x0, AccessKind::Load, 2000);
+        assert!(!c.l1_hit && c.l2_hit);
+        assert_eq!(c.done_at, 2000 + 2 + 12);
+    }
+
+    #[test]
+    fn ifetch_uses_l1i_and_does_not_consume_mshrs() {
+        let mut cfg = no_prefetch();
+        cfg.mshrs = 1;
+        let mut m = MemoryHierarchy::new(cfg);
+        let _ = m.access(0x40, AccessKind::IFetch, 0);
+        let s = m.stats();
+        assert_eq!(s.l1i.accesses, 1);
+        assert_eq!(s.l1d.accesses, 0);
+        // A following data miss is not blocked by the ifetch miss.
+        let d = m.access(0x100000, AccessKind::Load, 0);
+        assert_eq!(s.mshr_stall_cycles, 0);
+        assert!(d.done_at <= 314 + 8, "only possible DRAM queueing, no MSHR stall");
+    }
+
+    #[test]
+    fn streaming_load_pattern_prefetches_into_l2() {
+        let mut m = MemoryHierarchy::new(MemConfig {
+            prefetch: Some(PrefetchConfig::default()),
+            ..MemConfig::default()
+        });
+        // March through memory line by line to train the prefetcher.
+        let mut now = 0;
+        for i in 0..64u64 {
+            let r = m.access(0x40_0000 + i * 64, AccessKind::Load, now);
+            now = r.done_at;
+        }
+        let s = m.stats();
+        assert!(s.l2.prefetch_fills > 0, "prefetcher fired");
+        assert!(s.l2.useful_prefetches > 0, "stream demands hit prefetched lines");
+        // Prefetching means later lines are L2 hits instead of DRAM misses.
+        assert!(s.llc_demand_misses < 64);
+    }
+
+    #[test]
+    fn store_allocates_like_a_load() {
+        let mut m = MemoryHierarchy::new(no_prefetch());
+        let w = m.access(0x50000, AccessKind::Store, 0);
+        assert!(!w.l1_hit);
+        let r = m.access(0x50000, AccessKind::Load, w.done_at);
+        assert!(r.l1_hit, "write-allocate brought the line in");
+    }
+}

@@ -1,0 +1,98 @@
+//! Memory-system statistics.
+
+/// Per-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses.
+    pub accesses: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines filled by the prefetcher.
+    pub prefetch_fills: u64,
+    /// Prefetched lines that were later demanded.
+    pub useful_prefetches: u64,
+}
+
+impl CacheStats {
+    /// Counter difference `self - earlier` (for measurement windows that
+    /// exclude warmup).
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses - earlier.accesses,
+            misses: self.misses - earlier.misses,
+            prefetch_fills: self.prefetch_fills - earlier.prefetch_fills,
+            useful_prefetches: self.useful_prefetches - earlier.useful_prefetches,
+        }
+    }
+
+    /// Demand miss rate in `[0, 1]`; zero when idle.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Aggregate memory-system counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// L1 I-cache counters.
+    pub l1i: CacheStats,
+    /// L1 D-cache counters.
+    pub l1d: CacheStats,
+    /// L2 (last-level cache) counters.
+    pub l2: CacheStats,
+    /// Demand misses at the LLC (loads and stores) — the numerator of the
+    /// paper's MPKI switching metric.
+    pub llc_demand_misses: u64,
+    /// DRAM line transfers (demand + prefetch).
+    pub dram_transfers: u64,
+    /// Misses merged into an existing MSHR.
+    pub mshr_merges: u64,
+    /// Cycles an access had to wait because all MSHRs were busy.
+    pub mshr_stall_cycles: u64,
+}
+
+impl MemStats {
+    /// Counter difference `self - earlier` (for measurement windows that
+    /// exclude warmup).
+    pub fn delta(&self, earlier: &MemStats) -> MemStats {
+        MemStats {
+            l1i: self.l1i.delta(&earlier.l1i),
+            l1d: self.l1d.delta(&earlier.l1d),
+            l2: self.l2.delta(&earlier.l2),
+            llc_demand_misses: self.llc_demand_misses - earlier.llc_demand_misses,
+            dram_transfers: self.dram_transfers - earlier.dram_transfers,
+            mshr_merges: self.mshr_merges - earlier.mshr_merges,
+            mshr_stall_cycles: self.mshr_stall_cycles - earlier.mshr_stall_cycles,
+        }
+    }
+
+    /// LLC misses per kilo-instruction, given a retired-instruction count.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.llc_demand_misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_definition() {
+        let s = MemStats { llc_demand_misses: 30, ..MemStats::default() };
+        assert!((s.mpki(10_000) - 3.0).abs() < 1e-12);
+        assert_eq!(s.mpki(0), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_idle_is_zero() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: the cache tag array must agree with a straightforward
+//! reference model (per-set LRU lists) on arbitrary access streams, and the
+//! hierarchy must respect basic timing laws.
+
+use proptest::prelude::*;
+
+use swque_mem::{AccessKind, Cache, CacheConfig, MemConfig, MemoryHierarchy};
+
+/// Reference model: each set is a vector of line tags, most recently used
+/// last.
+#[derive(Debug)]
+struct RefCache {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    line_bytes: u64,
+}
+
+impl RefCache {
+    fn new(c: &CacheConfig) -> RefCache {
+        RefCache {
+            sets: vec![Vec::new(); c.num_sets()],
+            ways: c.ways,
+            line_bytes: c.line_bytes as u64,
+        }
+    }
+
+    fn access_and_fill(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let set_idx = (line % self.sets.len() as u64) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            let t = set.remove(pos);
+            set.push(t);
+            true
+        } else {
+            if set.len() == self.ways {
+                set.remove(0);
+            }
+            set.push(line);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Hit/miss behaviour matches the reference LRU model exactly.
+    #[test]
+    fn cache_matches_reference_lru(addrs in proptest::collection::vec(0u64..4096, 1..300)) {
+        let config = CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64, hit_latency: 1 };
+        let mut cache = Cache::new(config);
+        let mut reference = RefCache::new(&config);
+        for addr in addrs {
+            let model_hit = reference.access_and_fill(addr);
+            let real_hit = cache.access(addr);
+            prop_assert_eq!(real_hit, model_hit, "divergence at {:#x}", addr);
+            if !real_hit {
+                cache.fill(addr, false);
+            }
+        }
+    }
+
+    /// Timing laws of the hierarchy: completions never precede the request,
+    /// repeat accesses are at least as fast as cold ones, and demand misses
+    /// are monotonically counted.
+    #[test]
+    fn hierarchy_timing_laws(addrs in proptest::collection::vec(0u64..(1u64 << 24), 1..150)) {
+        let mut mem = MemoryHierarchy::new(MemConfig { prefetch: None, ..MemConfig::default() });
+        let mut now = 0u64;
+        let mut last_misses = 0;
+        for addr in addrs {
+            let r = mem.access(addr, AccessKind::Load, now);
+            prop_assert!(r.done_at > now, "completion strictly after request");
+            let misses = mem.stats().llc_demand_misses;
+            prop_assert!(misses >= last_misses);
+            last_misses = misses;
+            now = r.done_at;
+            // An immediate repeat is an L1 hit with fixed latency.
+            let again = mem.access(addr, AccessKind::Load, now);
+            prop_assert!(again.l1_hit, "just-filled line hits");
+            prop_assert_eq!(again.done_at, now + 2, "L1D hit latency");
+        }
+    }
+
+    /// Sequential streams with the prefetcher never do worse (in LLC
+    /// demand misses) than without it.
+    #[test]
+    fn prefetcher_never_increases_demand_misses(start in 0u64..(1u64 << 20), lines in 8u64..80) {
+        let run = |prefetch: bool| {
+            let mut cfg = MemConfig::default();
+            if !prefetch {
+                cfg.prefetch = None;
+            }
+            let mut mem = MemoryHierarchy::new(cfg);
+            let mut now = 0;
+            for i in 0..lines {
+                let r = mem.access(start + i * 64, AccessKind::Load, now);
+                now = r.done_at;
+            }
+            mem.stats().llc_demand_misses
+        };
+        prop_assert!(run(true) <= run(false));
+    }
+}

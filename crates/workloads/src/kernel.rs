@@ -1,0 +1,100 @@
+//! Kernel metadata: name, SPEC counterpart, and behaviour class.
+
+use std::fmt;
+
+use swque_isa::Program;
+
+/// Integer or floating-point program (the paper averages the two groups
+/// separately: "GM int" and "GM fp").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// SPECspeed 2017 INT counterpart.
+    Int,
+    /// SPECspeed 2017 FP counterpart.
+    Fp,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Category::Int => write!(f, "INT"),
+            Category::Fp => write!(f, "FP"),
+        }
+    }
+}
+
+/// The paper's Figure 9 behaviour annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IlpClass {
+    /// Moderate ILP: priority-sensitive, low capacity demand.
+    ModerateIlp,
+    /// Rich ILP: capacity-demanding through instruction parallelism.
+    RichIlp,
+    /// Memory-level parallelism: capacity-demanding through overlapped LLC
+    /// misses.
+    Mlp,
+}
+
+impl fmt::Display for IlpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlpClass::ModerateIlp => write!(f, "m-ILP"),
+            IlpClass::RichIlp => write!(f, "r-ILP"),
+            IlpClass::Mlp => write!(f, "MLP"),
+        }
+    }
+}
+
+/// A named, classed benchmark kernel.
+#[derive(Clone)]
+pub struct Kernel {
+    /// Kernel name, `<spec-program>_like`.
+    pub name: &'static str,
+    /// The SPEC2017 program this kernel stands in for.
+    pub spec_name: &'static str,
+    /// INT or FP group.
+    pub category: Category,
+    /// Figure 9 behaviour class.
+    pub class: IlpClass,
+    /// Default scale (outer iterations) for full experiments.
+    pub default_scale: u64,
+    pub(crate) builder: fn(u64) -> Program,
+}
+
+impl Kernel {
+    /// Builds the kernel at its default experiment scale.
+    pub fn build(&self) -> Program {
+        (self.builder)(self.default_scale)
+    }
+
+    /// Builds the kernel with `scale` outer iterations (use small values
+    /// for tests).
+    pub fn build_scaled(&self, scale: u64) -> Program {
+        (self.builder)(scale.max(1))
+    }
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("name", &self.name)
+            .field("spec_name", &self.spec_name)
+            .field("category", &self.category)
+            .field("class", &self.class)
+            .field("default_scale", &self.default_scale)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Category::Int.to_string(), "INT");
+        assert_eq!(IlpClass::ModerateIlp.to_string(), "m-ILP");
+        assert_eq!(IlpClass::RichIlp.to_string(), "r-ILP");
+        assert_eq!(IlpClass::Mlp.to_string(), "MLP");
+    }
+}

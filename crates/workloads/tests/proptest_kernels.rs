@@ -1,0 +1,95 @@
+//! Property tests over the workload generators: arbitrary in-range
+//! parameters must always yield terminating, memory-bounded programs.
+
+use proptest::prelude::*;
+
+use swque_isa::Emulator;
+use swque_workloads::synthetic::{
+    branchy_search, chase_clump, fp_recurrence, pointer_chase, stream_fp, BranchyParams,
+    ChaseClumpParams, FpRecurrenceParams, PointerChaseParams, StreamFpParams,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// chase_clump over its whole parameter space: terminates, chains stay
+    /// on their ring, the gather cursor stays in its buffer.
+    #[test]
+    fn chase_clump_parameter_space(
+        chains in 1usize..=6,
+        links in 1usize..=4,
+        link_alu in 0usize..=3,
+        young in 0usize..=16,
+        stride in prop_oneof![Just(8u64), Just(64), Just(128)],
+        hard in 0usize..=3,
+        seed in any::<u64>(),
+    ) {
+        let p = ChaseClumpParams {
+            chains,
+            links,
+            link_alu,
+            young_loads: young,
+            young_stride: stride,
+            hard_branches: hard,
+            ring_bytes: 4 << 10,
+            gather_bytes: 16 << 10,
+            seed,
+            ..ChaseClumpParams::default()
+        };
+        let program = chase_clump(40, &p);
+        let mut emu = Emulator::new(&program);
+        let retired = emu.run(5_000_000).expect("terminates");
+        prop_assert!(retired > 40, "does real work");
+        for c in 0..chains as u8 {
+            let ptr = emu.int_reg(swque_isa::Reg(16 + c));
+            prop_assert!(
+                (0x10_0000..0x10_0000 + (4u64 << 10)).contains(&ptr),
+                "chain {c} on ring: {ptr:#x}"
+            );
+        }
+        let cursor = emu.int_reg(swque_isa::Reg(25));
+        prop_assert!(
+            (0x80_0000..0x80_0000 + (16u64 << 10)).contains(&cursor),
+            "gather cursor in bounds: {cursor:#x}"
+        );
+    }
+
+    /// Every archetype terminates for arbitrary seeds.
+    #[test]
+    fn all_archetypes_terminate_for_any_seed(seed in any::<u64>()) {
+        let programs = [
+            branchy_search(20, &BranchyParams { seed, ..BranchyParams::default() }),
+            pointer_chase(
+                10,
+                &PointerChaseParams { seed, nodes: 1 << 9, ..PointerChaseParams::default() },
+            ),
+            stream_fp(15, &StreamFpParams { seed, ..StreamFpParams::default() }),
+            fp_recurrence(15, &FpRecurrenceParams { seed, ..FpRecurrenceParams::default() }),
+        ];
+        for program in &programs {
+            let mut emu = Emulator::new(program);
+            prop_assert!(emu.run(5_000_000).is_ok());
+        }
+    }
+
+    /// Scale is linear-ish: doubling iterations roughly doubles the dynamic
+    /// instruction count (the loops have fixed bodies).
+    #[test]
+    fn scale_controls_dynamic_length(seed in any::<u64>()) {
+        let p = ChaseClumpParams {
+            ring_bytes: 4 << 10,
+            gather_bytes: 16 << 10,
+            seed,
+            ..ChaseClumpParams::default()
+        };
+        let run = |iters| {
+            let program = chase_clump(iters, &p);
+            let mut emu = Emulator::new(&program);
+            emu.run(20_000_000).expect("terminates")
+        };
+        let short = run(50) as f64;
+        let long = run(100) as f64;
+        let ratio = long / short;
+        prop_assert!((1.8..2.2).contains(&ratio), "iters scale dynamic length: {ratio:.2}");
+    }
+}

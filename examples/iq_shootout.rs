@@ -1,0 +1,47 @@
+//! Shootout: every issue-queue organization on one kernel per behaviour
+//! class, showing where each organization wins and loses.
+//!
+//! ```sh
+//! cargo run --release --example iq_shootout
+//! ```
+
+use swque::cpu::{Core, CoreConfig};
+use swque::iq::IqKind;
+use swque::workloads::suite;
+
+fn main() {
+    let kernels = ["deepsjeng_like", "bwaves_like", "omnetpp_like"];
+    let kinds = [
+        IqKind::Shift,
+        IqKind::Circ,
+        IqKind::CircPpri,
+        IqKind::CircPc,
+        IqKind::Rand,
+        IqKind::Age,
+        IqKind::Swque,
+    ];
+
+    print!("{:14}", "IQ \\ kernel");
+    for name in kernels {
+        print!("  {name:>16}");
+    }
+    println!();
+    let mut shift_ipc = Vec::new();
+    for kind in kinds {
+        print!("{:14}", kind.label());
+        for (i, name) in kernels.iter().enumerate() {
+            let kernel = suite::by_name(name).expect("known kernel");
+            let program = kernel.build();
+            let mut core = Core::new(CoreConfig::medium(), kind, &program);
+            let warm = core.run(150_000);
+            let r = core.run(450_000).delta(&warm);
+            if kind == IqKind::Shift {
+                shift_ipc.push(r.ipc());
+            }
+            print!("  {:>7.3} ({:+5.1}%)", r.ipc(), (r.ipc() / shift_ipc[i] - 1.0) * 100.0);
+        }
+        println!();
+    }
+    println!("\n(percentages are relative to SHIFT; deepsjeng_like is priority-");
+    println!(" sensitive, bwaves_like capacity-hungry, omnetpp_like MLP-bound)");
+}

@@ -1,0 +1,56 @@
+//! Watch SWQUE's controller follow a phase-changing program: the phased
+//! kernel alternates compute (priority-sensitive) and pointer-chase
+//! (memory-bound) phases, and the queue reconfigures to match.
+//!
+//! ```sh
+//! cargo run --release --example mode_switching
+//! ```
+
+use swque::cpu::{Core, CoreConfig};
+use swque::iq::{IqKind, IqMode};
+use swque::workloads::synthetic::{phased, PhasedParams};
+
+fn main() {
+    let program = phased(
+        40,
+        &PhasedParams {
+            compute_iters: 2_000,
+            memory_iters: 400,
+            chains: 8,
+            nodes: 1 << 20,
+            chain_ops: 6,
+            seed: 7,
+        },
+    );
+    let mut core = Core::new(CoreConfig::medium(), IqKind::Swque, &program);
+
+    println!("interval  insts      mode     switches   MPKI(total)");
+    let mut last_mode = IqMode::Fixed;
+    let mut interval = 0u64;
+    while !core.finished() && core.retired() < 1_200_000 {
+        core.step_cycle();
+        if core.retired() >= interval * 20_000 {
+            let r = core.result();
+            let mode = core.iq_mode();
+            let marker = if mode != last_mode { "  <- switched" } else { "" };
+            println!(
+                "{:>8}  {:>9}  {:>7}  {:>8}   {:>6.2}{marker}",
+                interval,
+                r.retired,
+                mode.to_string(),
+                r.swque.map(|s| s.switches).unwrap_or(0),
+                r.mpki(),
+            );
+            last_mode = mode;
+            interval += 1;
+        }
+    }
+    let r = core.result();
+    let sw = r.swque.expect("SWQUE stats");
+    println!(
+        "\ntotals: {} switches, {:.0}% of cycles in CIRC-PC, {:.0}% in AGE",
+        sw.switches,
+        sw.circ_pc_fraction() * 100.0,
+        (1.0 - sw.circ_pc_fraction()) * 100.0
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: run one benchmark kernel on SWQUE and on the AGE baseline,
+//! and print the comparison the paper is about.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use swque::cpu::{Core, CoreConfig};
+use swque::iq::IqKind;
+use swque::workloads::suite;
+
+fn main() {
+    let kernel = suite::by_name("deepsjeng_like").expect("kernel in the suite");
+    println!("kernel: {} ({} {})", kernel.name, kernel.category, kernel.class);
+
+    let budget = 600_000u64;
+    let mut results = Vec::new();
+    for kind in [IqKind::Age, IqKind::Swque] {
+        let program = kernel.build();
+        let mut core = Core::new(CoreConfig::medium(), kind, &program);
+        // Warm caches and predictors, then measure.
+        let warm = core.run(200_000);
+        let r = core.run(200_000 + budget).delta(&warm);
+        println!(
+            "  {:6}  IPC {:.3}   (MPKI {:.2}, branch mispredict {:.1}%)",
+            kind.label(),
+            r.ipc(),
+            r.mpki(),
+            r.branch.mispredict_rate() * 100.0
+        );
+        if let Some(sw) = r.swque {
+            println!(
+                "          mode residency: {:.0}% CIRC-PC / {:.0}% AGE, {} switches",
+                sw.circ_pc_fraction() * 100.0,
+                (1.0 - sw.circ_pc_fraction()) * 100.0,
+                sw.switches
+            );
+        }
+        results.push(r.ipc());
+    }
+    println!(
+        "\nSWQUE speedup over AGE: {:+.1}%  (the paper reports >10% for this class)",
+        (results[1] / results[0] - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,65 @@
+//! Write a kernel as assembly *text*, parse it, and run it both
+//! functionally and on the timed core.
+//!
+//! ```sh
+//! cargo run --release --example text_assembly
+//! ```
+
+use swque::cpu::{Core, CoreConfig};
+use swque::iq::IqKind;
+use swque::isa::{parse_program, Emulator, Reg};
+
+const COLLATZ: &str = r"
+; longest Collatz chain for seeds 1..=200
+    li r10, 200          ; seed counter
+    li r20, 0            ; best length
+    li r21, 0            ; best seed
+outer:
+    mv r1, r10           ; n = seed
+    li r2, 0             ; chain length
+chain:
+    li r3, 1
+    beq r1, r3, done     ; n == 1 ?
+    andi r4, r1, 1
+    bne r4, r0, odd
+    srai r1, r1, 1       ; n /= 2
+    j next
+odd:
+    slli r5, r1, 1       ; 3n + 1 = 2n + n + 1
+    add r1, r5, r1
+    addi r1, r1, 1
+next:
+    addi r2, r2, 1
+    j chain
+done:
+    blt r2, r20, skip    ; keep the best
+    mv r20, r2
+    mv r21, r10
+skip:
+    addi r10, r10, -1
+    bne r10, r0, outer
+    halt
+";
+
+fn main() {
+    let program = parse_program(COLLATZ).expect("valid assembly");
+    println!("parsed {} instructions", program.len());
+
+    let mut emu = Emulator::new(&program);
+    emu.run(10_000_000).expect("terminates");
+    println!(
+        "functional:  longest chain = {} steps (seed {})",
+        emu.int_reg(Reg(20)),
+        emu.int_reg(Reg(21))
+    );
+
+    let mut core = Core::new(CoreConfig::medium(), IqKind::Swque, &program);
+    let r = core.run(u64::MAX);
+    assert_eq!(core.emulator().int_reg(Reg(20)), emu.int_reg(Reg(20)));
+    println!(
+        "timed:       same answer in {} cycles at IPC {:.3} (mispredict rate {:.1}%)",
+        r.cycles,
+        r.ipc(),
+        r.branch.mispredict_rate() * 100.0
+    );
+}

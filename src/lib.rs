@@ -1,0 +1,40 @@
+//! # SWQUE — a mode switching issue queue with priority-correcting circular queue
+//!
+//! This crate is the facade of a full reproduction of *SWQUE: A Mode
+//! Switching Issue Queue with Priority-Correcting Circular Queue* (Hideki
+//! Ando, MICRO-52, 2019). It re-exports every subsystem so downstream users
+//! can depend on a single crate:
+//!
+//! * [`isa`] — a small 64-bit RISC instruction set, assembler DSL, and
+//!   functional emulator used as the execution oracle.
+//! * [`branch`] — gshare + BTB branch prediction.
+//! * [`mem`] — two-level cache hierarchy with MSHRs, a stream prefetcher and
+//!   a bandwidth-limited DRAM model.
+//! * [`iq`] — the paper's contribution: every issue-queue organization
+//!   (SHIFT, CIRC, CIRC-PPRI, CIRC-PC, RAND, AGE, SWQUE).
+//! * [`cpu`] — a cycle-level out-of-order superscalar core simulator.
+//! * [`workloads`] — SPEC2017-like synthetic kernels.
+//! * [`circuit`] — analytical area / delay / energy models of the IQ
+//!   circuits.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use swque::cpu::{Core, CoreConfig};
+//! use swque::iq::IqKind;
+//! use swque::workloads::suite;
+//!
+//! let program = suite::by_name("deepsjeng_like").expect("known kernel").build();
+//! let config = CoreConfig::medium();
+//! let mut core = Core::new(config, IqKind::Swque, &program);
+//! let result = core.run(50_000);
+//! assert!(result.ipc() > 0.0);
+//! ```
+
+pub use swque_branch as branch;
+pub use swque_circuit as circuit;
+pub use swque_core as iq;
+pub use swque_cpu as cpu;
+pub use swque_isa as isa;
+pub use swque_mem as mem;
+pub use swque_workloads as workloads;

@@ -3,9 +3,13 @@
 //! experiments live in `src/bin/` (fig08…fig14, tables, tab06, sec47,
 //! sec48); these benches run miniature instances (one kernel per class,
 //! thousands of instructions) to keep `cargo bench` minutes-scale.
+//!
+//! Runs on the in-tree harness (`swque_rng::timer`) instead of criterion;
+//! `cargo bench -p swque-bench --bench experiments [filter]`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+
+use swque_rng::timer::Bench;
 
 use swque_circuit::area::{areas, cost_summary};
 use swque_circuit::delay::delays;
@@ -30,105 +34,85 @@ fn config_with_penalty(penalty: u64) -> CoreConfig {
     c
 }
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
+fn bench_figures(b: &mut Bench) {
+    b.group("figures");
+    b.sample_size(10);
 
     // Figure 8: conventional IQs vs SHIFT on an m-ILP kernel.
-    g.bench_function("fig08_degradation_vs_shift", |b| {
-        b.iter(|| {
-            for kind in [IqKind::Shift, IqKind::Circ, IqKind::Rand, IqKind::Age, IqKind::Swque] {
-                black_box(mini_run("deepsjeng_like", kind, CoreConfig::medium()));
-            }
-        })
+    b.bench("fig08_degradation_vs_shift", || {
+        for kind in [IqKind::Shift, IqKind::Circ, IqKind::Rand, IqKind::Age, IqKind::Swque] {
+            black_box(mini_run("deepsjeng_like", kind, CoreConfig::medium()));
+        }
     });
 
     // Figure 9: SWQUE vs AGE on medium and large models.
-    g.bench_function("fig09_swque_speedup", |b| {
-        b.iter(|| {
-            black_box(mini_run("deepsjeng_like", IqKind::Age, CoreConfig::medium()));
-            black_box(mini_run("deepsjeng_like", IqKind::Swque, CoreConfig::medium()));
-            black_box(mini_run("deepsjeng_like", IqKind::Age, CoreConfig::large()));
-            black_box(mini_run("deepsjeng_like", IqKind::Swque, CoreConfig::large()));
-        })
+    b.bench("fig09_swque_speedup", || {
+        black_box(mini_run("deepsjeng_like", IqKind::Age, CoreConfig::medium()));
+        black_box(mini_run("deepsjeng_like", IqKind::Swque, CoreConfig::medium()));
+        black_box(mini_run("deepsjeng_like", IqKind::Age, CoreConfig::large()));
+        black_box(mini_run("deepsjeng_like", IqKind::Swque, CoreConfig::large()));
     });
 
     // Figure 10: mode-residency measurement.
-    g.bench_function("fig10_mode_breakdown", |b| {
-        b.iter(|| {
-            let r = mini_run("omnetpp_like", IqKind::Swque, CoreConfig::medium());
-            black_box(r.swque.expect("swque stats").circ_pc_fraction())
-        })
+    b.bench("fig10_mode_breakdown", || {
+        let r = mini_run("omnetpp_like", IqKind::Swque, CoreConfig::medium());
+        black_box(r.swque.expect("swque stats").circ_pc_fraction())
     });
 
     // Figure 11: circular-queue variants.
-    g.bench_function("fig11_circ_variants", |b| {
-        b.iter(|| {
-            for kind in [IqKind::Shift, IqKind::Circ, IqKind::CircPpri, IqKind::CircPc] {
-                black_box(mini_run("leela_like", kind, CoreConfig::medium()));
-            }
-        })
+    b.bench("fig11_circ_variants", || {
+        for kind in [IqKind::Shift, IqKind::Circ, IqKind::CircPpri, IqKind::CircPc] {
+            black_box(mini_run("leela_like", kind, CoreConfig::medium()));
+        }
     });
 
     // Figure 12: energy model over a run.
-    g.bench_function("fig12_energy", |b| {
-        let r = mini_run("deepsjeng_like", IqKind::Swque, CoreConfig::medium());
-        let geometry = IqGeometry::medium();
-        b.iter(|| black_box(iq_energy(&r, &geometry, true).total()))
-    });
+    let fig12_run = mini_run("deepsjeng_like", IqKind::Swque, CoreConfig::medium());
+    let geometry = IqGeometry::medium();
+    b.bench("fig12_energy", || black_box(iq_energy(&fig12_run, &geometry, true).total()));
 
     // Figure 13 + Table 5: area model.
-    g.bench_function("fig13_tab05_area", |b| {
-        b.iter(|| {
-            let a = areas(&IqGeometry::medium());
-            black_box((a.figure13_rows(), a.overhead_fraction()))
-        })
+    b.bench("fig13_tab05_area", || {
+        let a = areas(&IqGeometry::medium());
+        black_box((a.figure13_rows(), a.overhead_fraction()))
     });
 
     // Figure 14: multi-age-matrix variants.
-    g.bench_function("fig14_multi_am", |b| {
-        b.iter(|| {
-            for kind in [IqKind::Age, IqKind::AgeMulti, IqKind::SwqueMulti] {
-                black_box(mini_run("cam4_like", kind, CoreConfig::medium()));
-            }
-        })
+    b.bench("fig14_multi_am", || {
+        for kind in [IqKind::Age, IqKind::AgeMulti, IqKind::SwqueMulti] {
+            black_box(mini_run("cam4_like", kind, CoreConfig::medium()));
+        }
     });
-
-    g.finish();
 }
 
-fn bench_tables_and_sections(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables_sections");
-    g.sample_size(10);
+fn bench_tables_and_sections(b: &mut Bench) {
+    b.group("tables_sections");
+    b.sample_size(10);
 
     // Table 6: cost model + cost-neutral AGE-150 run.
-    g.bench_function("tab06_cost_neutral", |b| {
-        b.iter(|| {
-            black_box(cost_summary(&IqGeometry::medium()));
-            let mut config = CoreConfig::medium();
-            config.iq.capacity = 150;
-            black_box(mini_run("x264_like", IqKind::Age, config));
-        })
+    b.bench("tab06_cost_neutral", || {
+        black_box(cost_summary(&IqGeometry::medium()));
+        let mut config = CoreConfig::medium();
+        config.iq.capacity = 150;
+        black_box(mini_run("x264_like", IqKind::Age, config));
     });
 
     // Section 4.7: delay fractions.
-    g.bench_function("sec47_delays", |b| {
-        b.iter(|| {
-            let d = delays(&IqGeometry::medium());
-            black_box((d.double_tag_fraction(), d.payload_fraction(), d.dtm_overhead()))
-        })
+    b.bench("sec47_delays", || {
+        let d = delays(&IqGeometry::medium());
+        black_box((d.double_tag_fraction(), d.payload_fraction(), d.dtm_overhead()))
     });
 
     // Section 4.8: switch-penalty sensitivity.
-    g.bench_function("sec48_switch_penalty", |b| {
-        b.iter(|| {
-            black_box(mini_run("pop2_like", IqKind::Swque, config_with_penalty(10)));
-            black_box(mini_run("pop2_like", IqKind::Swque, config_with_penalty(40)));
-        })
+    b.bench("sec48_switch_penalty", || {
+        black_box(mini_run("pop2_like", IqKind::Swque, config_with_penalty(10)));
+        black_box(mini_run("pop2_like", IqKind::Swque, config_with_penalty(40)));
     });
-
-    g.finish();
 }
 
-criterion_group!(benches, bench_figures, bench_tables_and_sections);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_env();
+    bench_figures(&mut b);
+    bench_tables_and_sections(&mut b);
+    b.finish();
+}

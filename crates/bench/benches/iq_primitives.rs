@@ -1,8 +1,12 @@
 //! Micro-benchmarks of the issue-queue primitives: dispatch / wakeup /
 //! select cycles for every organization, and the age-matrix query.
+//!
+//! Runs on the in-tree harness (`swque_rng::timer`) instead of criterion;
+//! `cargo bench -p swque-bench --bench iq_primitives [filter]`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+
+use swque_rng::timer::Bench;
 
 use swque_core::{AgeMatrix, DispatchReq, IqConfig, IqKind, IssueBudget};
 use swque_isa::FuClass;
@@ -37,35 +41,31 @@ fn scheduling_round(kind: IqKind, config: &IqConfig) -> u64 {
     issued
 }
 
-fn bench_queues(c: &mut Criterion) {
+fn bench_queues(b: &mut Bench) {
     let config = IqConfig::default();
-    let mut group = c.benchmark_group("scheduling_round");
+    b.group("scheduling_round");
     for kind in IqKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &k| {
-            b.iter(|| scheduling_round(black_box(k), &config));
+        b.bench(kind.label(), || scheduling_round(black_box(kind), &config));
+    }
+}
+
+fn bench_age_matrix(b: &mut Bench) {
+    b.group("age_matrix");
+    for entries in [128usize, 256] {
+        let mut m = AgeMatrix::new(entries);
+        for i in 0..entries {
+            m.allocate(i);
+        }
+        let requests: Vec<usize> = (0..entries).step_by(3).collect();
+        b.bench(&format!("oldest_ready/{entries}"), || {
+            black_box(m.oldest_ready(requests.iter().copied()))
         });
     }
-    group.finish();
 }
 
-fn bench_age_matrix(c: &mut Criterion) {
-    let mut group = c.benchmark_group("age_matrix");
-    for entries in [128usize, 256] {
-        group.bench_with_input(
-            BenchmarkId::new("oldest_ready", entries),
-            &entries,
-            |b, &n| {
-                let mut m = AgeMatrix::new(n);
-                for i in 0..n {
-                    m.allocate(i);
-                }
-                let requests: Vec<usize> = (0..n).step_by(3).collect();
-                b.iter(|| black_box(m.oldest_ready(requests.iter().copied())));
-            },
-        );
-    }
-    group.finish();
+fn main() {
+    let mut b = Bench::from_env();
+    bench_queues(&mut b);
+    bench_age_matrix(&mut b);
+    b.finish();
 }
-
-criterion_group!(benches, bench_queues, bench_age_matrix);
-criterion_main!(benches);

@@ -1,8 +1,11 @@
 //! Property-based tests over the issue-queue organizations: random
 //! operation sequences must preserve the structural invariants of every
 //! scheme, and the age matrix must agree with a sequence-number oracle.
+//!
+//! Ported from `proptest` to the in-tree harness (`swque_rng::prop`);
+//! each property keeps at least its original case count (64).
 
-use proptest::prelude::*;
+use swque_rng::prop::{check, Gen};
 
 use swque_core::{AgeMatrix, DispatchReq, IqConfig, IqKind, IssueBudget, Tag};
 use swque_isa::FuClass;
@@ -17,14 +20,19 @@ enum Op {
     Flush,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (proptest::option::of(1u16..24), 0u8..4).prop_map(|(wait_tag, fu)| Op::Dispatch { wait_tag, fu }),
-        3 => (1u16..24).prop_map(Op::Wakeup),
-        3 => (1u8..7).prop_map(|width| Op::Select { width }),
-        1 => (0u8..8).prop_map(|keep_frac| Op::SquashTail { keep_frac }),
-        1 => Just(Op::Flush),
-    ]
+/// Mirrors the original weighted `prop_oneof!` strategy
+/// (4 dispatch : 3 wakeup : 3 select : 1 squash : 1 flush).
+fn random_op(g: &mut Gen) -> Op {
+    match g.weighted(&[4, 3, 3, 1, 1]) {
+        0 => Op::Dispatch {
+            wait_tag: g.option(|g| g.gen_range(1u16..24)),
+            fu: g.gen_range(0u8..4),
+        },
+        1 => Op::Wakeup(g.gen_range(1u16..24)),
+        2 => Op::Select { width: g.gen_range(1u8..7) },
+        3 => Op::SquashTail { keep_frac: g.gen_range(0u8..8) },
+        _ => Op::Flush,
+    }
 }
 
 fn fu_of(i: u8) -> FuClass {
@@ -36,16 +44,15 @@ fn fu_of(i: u8) -> FuClass {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every queue kind, driven by arbitrary operation sequences:
-    /// * occupancy never exceeds capacity,
-    /// * every grant was actually dispatched, ready, and never granted twice,
-    /// * grants respect the issue budget,
-    /// * squashes remove exactly the younger instructions.
-    #[test]
-    fn queue_invariants_hold_under_random_ops(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+/// Every queue kind, driven by arbitrary operation sequences:
+/// * occupancy never exceeds capacity,
+/// * every grant was actually dispatched, ready, and never granted twice,
+/// * grants respect the issue budget,
+/// * squashes remove exactly the younger instructions.
+#[test]
+fn queue_invariants_hold_under_random_ops() {
+    check(64, |g| {
+        let ops: Vec<Op> = g.vec(1..120, random_op);
         let config = IqConfig { capacity: 12, issue_width: 4, ..IqConfig::default() };
         for kind in IqKind::ALL {
             let mut q = kind.build(&config);
@@ -67,7 +74,7 @@ proptest! {
                             live.insert(seq, tag);
                             seq += 1;
                         } else {
-                            prop_assert!(q.len() <= config.capacity, "{kind}");
+                            assert!(q.len() <= config.capacity, "{kind}");
                         }
                     }
                     Op::Wakeup(tag) => {
@@ -78,14 +85,14 @@ proptest! {
                         let w = *width as usize;
                         let mut budget = IssueBudget::new(w, [w, w, w, w]);
                         let grants = q.select(&mut budget);
-                        prop_assert!(grants.len() <= w, "{kind}: grant count within width");
-                        for g in &grants {
-                            let waited = live.remove(&g.seq);
-                            prop_assert!(waited.is_some(), "{kind}: grant of live entry {}", g.seq);
+                        assert!(grants.len() <= w, "{kind}: grant count within width");
+                        for grant in &grants {
+                            let waited = live.remove(&grant.seq);
+                            assert!(waited.is_some(), "{kind}: grant of live entry {}", grant.seq);
                             if let Some(Some(tag)) = waited {
-                                prop_assert!(woken.contains(&tag), "{kind}: granted only after wakeup");
+                                assert!(woken.contains(&tag), "{kind}: granted only after wakeup");
                             }
-                            prop_assert!(granted.insert(g.seq), "{kind}: no double grant");
+                            assert!(granted.insert(grant.seq), "{kind}: no double grant");
                         }
                     }
                     Op::SquashTail { keep_frac } => {
@@ -102,19 +109,20 @@ proptest! {
                         live.clear();
                     }
                 }
-                prop_assert!(q.len() <= config.capacity, "{kind}: occupancy bound");
-                prop_assert_eq!(q.len(), live.len(), "{} occupancy mirrors the model", kind);
+                assert!(q.len() <= config.capacity, "{kind}: occupancy bound");
+                assert_eq!(q.len(), live.len(), "{kind} occupancy mirrors the model");
             }
         }
-    }
+    });
+}
 
-    /// The bit-matrix age matrix agrees with a simple "smallest sequence
-    /// number among requesters" oracle under arbitrary histories.
-    #[test]
-    fn age_matrix_matches_sequence_oracle(
-        events in proptest::collection::vec((0usize..16, any::<bool>()), 1..200),
-        request_mask in any::<u16>(),
-    ) {
+/// The bit-matrix age matrix agrees with a simple "smallest sequence
+/// number among requesters" oracle under arbitrary histories.
+#[test]
+fn age_matrix_matches_sequence_oracle() {
+    check(64, |g| {
+        let events: Vec<(usize, bool)> = g.vec(1..200, |g| (g.gen_range(0usize..16), g.bool()));
+        let request_mask: u16 = g.u16();
         let mut m = AgeMatrix::new(16);
         let mut ages: Vec<Option<u64>> = vec![None; 16];
         let mut clock = 0u64;
@@ -135,13 +143,16 @@ proptest! {
             .filter_map(|&i| ages[i].map(|a| (a, i)))
             .min()
             .map(|(_, i)| i);
-        prop_assert_eq!(m.oldest_ready(requests), oracle);
-    }
+        assert_eq!(m.oldest_ready(requests), oracle);
+    });
+}
 
-    /// SHIFT (the priority gold standard) issues ready instructions in
-    /// strict age order.
-    #[test]
-    fn shift_issues_in_age_order(ready_mask in any::<u16>()) {
+/// SHIFT (the priority gold standard) issues ready instructions in
+/// strict age order.
+#[test]
+fn shift_issues_in_age_order() {
+    check(64, |g| {
+        let ready_mask: u16 = g.u16();
         let config = IqConfig { capacity: 16, issue_width: 16, ..IqConfig::default() };
         let mut q = IqKind::Shift.build(&config);
         for seq in 0..16u64 {
@@ -151,17 +162,21 @@ proptest! {
         }
         let mut budget = IssueBudget::new(16, [16, 16, 16, 16]);
         let grants = q.select(&mut budget);
-        let seqs: Vec<u64> = grants.iter().map(|g| g.seq).collect();
+        let seqs: Vec<u64> = grants.iter().map(|grant| grant.seq).collect();
         let mut expected: Vec<u64> =
             (0..16u64).filter(|s| ready_mask >> s & 1 == 1).collect();
         expected.truncate(seqs.len());
-        prop_assert_eq!(seqs, expected);
-    }
+        assert_eq!(seqs, expected);
+    });
+}
 
-    /// Circular queues reclaim all capacity after arbitrary
-    /// dispatch/issue/squash churn followed by a drain.
-    #[test]
-    fn circular_capacity_fully_recovers(rounds in 1usize..20, drain_mask in any::<u32>()) {
+/// Circular queues reclaim all capacity after arbitrary
+/// dispatch/issue/squash churn followed by a drain.
+#[test]
+fn circular_capacity_fully_recovers() {
+    check(64, |g| {
+        let rounds = g.gen_range(1usize..20);
+        let drain_mask: u32 = g.u32();
         for kind in [IqKind::Circ, IqKind::CircPpri, IqKind::CircPc] {
             let config = IqConfig { capacity: 8, issue_width: 4, ..IqConfig::default() };
             let mut q = kind.build(&config);
@@ -184,10 +199,10 @@ proptest! {
             let mut guard = 0;
             while !q.is_empty() {
                 let mut b = IssueBudget::new(4, [4, 4, 4, 4]);
-                let g = q.select(&mut b);
-                prop_assert!(!g.is_empty() || guard < 2, "{kind}: drain progresses");
+                let grants = q.select(&mut b);
+                assert!(!grants.is_empty() || guard < 2, "{kind}: drain progresses");
                 guard += 1;
-                prop_assert!(guard < 100, "{kind}: drain terminates");
+                assert!(guard < 100, "{kind}: drain terminates");
             }
             // Full capacity must be available again.
             let mut dispatched = 0;
@@ -197,7 +212,7 @@ proptest! {
                 seq += 1;
                 dispatched += 1;
             }
-            prop_assert_eq!(dispatched, 8, "{} reclaims every entry", kind);
+            assert_eq!(dispatched, 8, "{kind} reclaims every entry");
         }
-    }
+    });
 }

@@ -1,8 +1,11 @@
 //! Property tests of the whole core: randomly generated (guaranteed-
 //! terminating) programs must produce identical architectural state under
 //! every issue-queue organization, and timing invariants must hold.
+//!
+//! Ported from `proptest` to the in-tree harness (`swque_rng::prop`);
+//! each property keeps at least its original case count (24).
 
-use proptest::prelude::*;
+use swque_rng::prop::check;
 
 use swque_core::IqKind;
 use swque_cpu::{Core, CoreConfig};
@@ -55,16 +58,13 @@ fn random_program(body: &[u8], iters: u8) -> Program {
     a.finish().expect("valid labels")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Scheduling policy never changes computation: all queue kinds agree
-    /// with the functional emulator on every architectural register.
-    #[test]
-    fn all_queues_match_functional_reference(
-        body in proptest::collection::vec(any::<u8>(), 3..24),
-        iters in 1u8..30,
-    ) {
+/// Scheduling policy never changes computation: all queue kinds agree
+/// with the functional emulator on every architectural register.
+#[test]
+fn all_queues_match_functional_reference() {
+    check(24, |g| {
+        let body: Vec<u8> = g.vec(3..24, |g| g.u8());
+        let iters = g.gen_range(1u8..30);
         let program = random_program(&body, iters);
         let mut reference = Emulator::new(&program);
         reference.run(10_000_000).expect("terminates");
@@ -72,34 +72,35 @@ proptest! {
         for kind in [IqKind::Shift, IqKind::CircPc, IqKind::Age, IqKind::Swque] {
             let mut core = Core::new(CoreConfig::tiny(), kind, &program);
             let result = core.run(u64::MAX);
-            prop_assert!(core.finished(), "{kind} drains");
-            prop_assert_eq!(result.retired, reference.retired(), "{} retire count", kind);
+            assert!(core.finished(), "{kind} drains");
+            assert_eq!(result.retired, reference.retired(), "{kind} retire count");
             for r in 1..16u8 {
-                prop_assert_eq!(
+                assert_eq!(
                     core.emulator().int_reg(Reg(r)),
                     reference.int_reg(Reg(r)),
-                    "{} r{} diverged", kind, r
+                    "{kind} r{r} diverged"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Timing sanity on random programs: cycles ≥ instructions / width, and
-    /// every dispatched instruction either retires or is squashed.
-    #[test]
-    fn timing_bounds_hold(
-        body in proptest::collection::vec(any::<u8>(), 3..16),
-        iters in 1u8..20,
-    ) {
+/// Timing sanity on random programs: cycles ≥ instructions / width, and
+/// every dispatched instruction either retires or is squashed.
+#[test]
+fn timing_bounds_hold() {
+    check(24, |g| {
+        let body: Vec<u8> = g.vec(3..16, |g| g.u8());
+        let iters = g.gen_range(1u8..20);
         let program = random_program(&body, iters);
         let mut core = Core::new(CoreConfig::tiny(), IqKind::Age, &program);
         let r = core.run(u64::MAX);
-        prop_assert!(r.cycles as f64 >= r.retired as f64 / 2.0, "width-2 bound");
-        prop_assert!(r.core.dispatched >= r.retired);
-        prop_assert_eq!(
+        assert!(r.cycles as f64 >= r.retired as f64 / 2.0, "width-2 bound");
+        assert!(r.core.dispatched >= r.retired);
+        assert_eq!(
             r.core.dispatched - r.retired,
             r.core.wrong_path_squashed + r.core.replayed.min(0), // squashed never retire
             "dispatch = retire + squashed"
         );
-    }
+    });
 }

@@ -1,20 +1,22 @@
 //! Property tests for the ISA substrate: sparse memory vs a byte-map
 //! model, and emulator/shadow agreement on straight-line code.
+//!
+//! Ported from `proptest` to the in-tree harness (`swque_rng::prop`);
+//! each property keeps at least its original case count (128).
 
-use proptest::prelude::*;
 use std::collections::HashMap;
+
+use swque_rng::prop::check;
 
 use swque_isa::{disassemble, parse_program, Assembler, Emulator, Opcode, Reg, SparseMemory};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// SparseMemory agrees with a plain byte map under interleaved u8/u64
-    /// reads and writes at arbitrary (including straddling) addresses.
-    #[test]
-    fn sparse_memory_matches_byte_map(
-        ops in proptest::collection::vec((0u64..10_000, any::<u64>(), any::<bool>()), 1..200)
-    ) {
+/// SparseMemory agrees with a plain byte map under interleaved u8/u64
+/// reads and writes at arbitrary (including straddling) addresses.
+#[test]
+fn sparse_memory_matches_byte_map() {
+    check(128, |g| {
+        let ops: Vec<(u64, u64, bool)> =
+            g.vec(1..200, |g| (g.gen_range(0u64..10_000), g.u64(), g.bool()));
         let mut mem = SparseMemory::new();
         let mut model: HashMap<u64, u8> = HashMap::new();
         for (addr, value, word) in ops {
@@ -32,17 +34,18 @@ proptest! {
             for (i, e) in expect.iter_mut().enumerate() {
                 *e = model.get(&(addr + i as u64)).copied().unwrap_or(0);
             }
-            prop_assert_eq!(mem.read_u64(addr), u64::from_le_bytes(expect));
+            assert_eq!(mem.read_u64(addr), u64::from_le_bytes(expect));
         }
-    }
+    });
+}
 
-    /// The wrong-path shadow emulator computes exactly what the real
-    /// emulator computes when run over the same straight-line code — it
-    /// differs only in where results are stored.
-    #[test]
-    fn shadow_agrees_with_emulator_on_straight_line_code(
-        vals in proptest::collection::vec(any::<i32>(), 4..20)
-    ) {
+/// The wrong-path shadow emulator computes exactly what the real
+/// emulator computes when run over the same straight-line code — it
+/// differs only in where results are stored.
+#[test]
+fn shadow_agrees_with_emulator_on_straight_line_code() {
+    check(128, |g| {
+        let vals: Vec<i32> = g.vec(4..20, |g| g.i32());
         let mut a = Assembler::new();
         for (i, v) in vals.iter().enumerate() {
             let dst = Reg(1 + (i % 8) as u8);
@@ -64,18 +67,21 @@ proptest! {
         loop {
             let real = emu.step().unwrap();
             let shadowed = shadow.step(&reference).unwrap();
-            prop_assert_eq!(real.inst, shadowed.inst);
-            prop_assert_eq!(real.next_pc, shadowed.next_pc);
+            assert_eq!(real.inst, shadowed.inst);
+            assert_eq!(real.next_pc, shadowed.next_pc);
             if real.inst.op == Opcode::Halt {
                 break;
             }
         }
-    }
+    });
+}
 
-    /// Disassemble → reparse is the identity on instructions, for random
-    /// straight-line + branchy programs.
-    #[test]
-    fn disassembly_round_trips(ops in proptest::collection::vec((any::<u8>(), any::<i16>()), 1..60)) {
+/// Disassemble → reparse is the identity on instructions, for random
+/// straight-line + branchy programs.
+#[test]
+fn disassembly_round_trips() {
+    check(128, |g| {
+        let ops: Vec<(u8, i16)> = g.vec(1..60, |g| (g.u8(), g.i16()));
         let mut a = Assembler::new();
         let mut label = 0u32;
         for (op, imm) in &ops {
@@ -101,13 +107,16 @@ proptest! {
         let p = a.finish().unwrap();
         let text = disassemble(&p);
         let q = parse_program(&text).expect("reparse");
-        prop_assert_eq!(p.insts, q.insts);
-    }
+        assert_eq!(p.insts, q.insts);
+    });
+}
 
-    /// Assembled programs are position-faithful: `here()` equals the
-    /// eventual instruction index of the next emitted instruction.
-    #[test]
-    fn assembler_here_is_consistent(n in 1usize..40) {
+/// Assembled programs are position-faithful: `here()` equals the
+/// eventual instruction index of the next emitted instruction.
+#[test]
+fn assembler_here_is_consistent() {
+    check(128, |g| {
+        let n = g.gen_range(1usize..40);
         let mut a = Assembler::new();
         let mut marks = Vec::new();
         for i in 0..n {
@@ -116,9 +125,9 @@ proptest! {
         }
         a.halt();
         let program = a.finish().unwrap();
-        prop_assert_eq!(program.len(), n + 1);
+        assert_eq!(program.len(), n + 1);
         for (i, m) in marks.iter().enumerate() {
-            prop_assert_eq!(*m, i as u64);
+            assert_eq!(*m, i as u64);
         }
-    }
+    });
 }

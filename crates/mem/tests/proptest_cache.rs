@@ -1,8 +1,11 @@
 //! Property tests: the cache tag array must agree with a straightforward
 //! reference model (per-set LRU lists) on arbitrary access streams, and the
 //! hierarchy must respect basic timing laws.
+//!
+//! Ported from `proptest` to the in-tree harness (`swque_rng::prop`);
+//! each property keeps at least its original case count (128).
 
-use proptest::prelude::*;
+use swque_rng::prop::check;
 
 use swque_mem::{AccessKind, Cache, CacheConfig, MemConfig, MemoryHierarchy};
 
@@ -42,51 +45,57 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Hit/miss behaviour matches the reference LRU model exactly.
-    #[test]
-    fn cache_matches_reference_lru(addrs in proptest::collection::vec(0u64..4096, 1..300)) {
+/// Hit/miss behaviour matches the reference LRU model exactly.
+#[test]
+fn cache_matches_reference_lru() {
+    check(128, |g| {
+        let addrs: Vec<u64> = g.vec(1..300, |g| g.gen_range(0u64..4096));
         let config = CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 64, hit_latency: 1 };
         let mut cache = Cache::new(config);
         let mut reference = RefCache::new(&config);
         for addr in addrs {
             let model_hit = reference.access_and_fill(addr);
             let real_hit = cache.access(addr);
-            prop_assert_eq!(real_hit, model_hit, "divergence at {:#x}", addr);
+            assert_eq!(real_hit, model_hit, "divergence at {addr:#x}");
             if !real_hit {
                 cache.fill(addr, false);
             }
         }
-    }
+    });
+}
 
-    /// Timing laws of the hierarchy: completions never precede the request,
-    /// repeat accesses are at least as fast as cold ones, and demand misses
-    /// are monotonically counted.
-    #[test]
-    fn hierarchy_timing_laws(addrs in proptest::collection::vec(0u64..(1u64 << 24), 1..150)) {
+/// Timing laws of the hierarchy: completions never precede the request,
+/// repeat accesses are at least as fast as cold ones, and demand misses
+/// are monotonically counted.
+#[test]
+fn hierarchy_timing_laws() {
+    check(128, |g| {
+        let addrs: Vec<u64> = g.vec(1..150, |g| g.gen_range(0u64..(1u64 << 24)));
         let mut mem = MemoryHierarchy::new(MemConfig { prefetch: None, ..MemConfig::default() });
         let mut now = 0u64;
         let mut last_misses = 0;
         for addr in addrs {
             let r = mem.access(addr, AccessKind::Load, now);
-            prop_assert!(r.done_at > now, "completion strictly after request");
+            assert!(r.done_at > now, "completion strictly after request");
             let misses = mem.stats().llc_demand_misses;
-            prop_assert!(misses >= last_misses);
+            assert!(misses >= last_misses);
             last_misses = misses;
             now = r.done_at;
             // An immediate repeat is an L1 hit with fixed latency.
             let again = mem.access(addr, AccessKind::Load, now);
-            prop_assert!(again.l1_hit, "just-filled line hits");
-            prop_assert_eq!(again.done_at, now + 2, "L1D hit latency");
+            assert!(again.l1_hit, "just-filled line hits");
+            assert_eq!(again.done_at, now + 2, "L1D hit latency");
         }
-    }
+    });
+}
 
-    /// Sequential streams with the prefetcher never do worse (in LLC
-    /// demand misses) than without it.
-    #[test]
-    fn prefetcher_never_increases_demand_misses(start in 0u64..(1u64 << 20), lines in 8u64..80) {
+/// Sequential streams with the prefetcher never do worse (in LLC
+/// demand misses) than without it.
+#[test]
+fn prefetcher_never_increases_demand_misses() {
+    check(128, |g| {
+        let start = g.gen_range(0u64..(1u64 << 20));
+        let lines = g.gen_range(8u64..80);
         let run = |prefetch: bool| {
             let mut cfg = MemConfig::default();
             if !prefetch {
@@ -100,6 +109,6 @@ proptest! {
             }
             mem.stats().llc_demand_misses
         };
-        prop_assert!(run(true) <= run(false));
-    }
+        assert!(run(true) <= run(false));
+    });
 }

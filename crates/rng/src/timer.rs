@@ -1,0 +1,234 @@
+//! A minimal wall-clock bench harness (replaces `criterion` for the
+//! `crates/bench/benches/` targets).
+//!
+//! Bench binaries are plain `main()` programs (`harness = false`); each
+//! builds a [`Bench`], registers closures, and gets per-benchmark
+//! min/median/mean timings printed to stdout:
+//!
+//! ```text
+//! scheduling_round/SHIFT        median   41.2 µs/iter  (min 40.8, mean 41.9; 20 samples × 32 iters)
+//! ```
+//!
+//! There is deliberately no statistics engine, HTML report, or baseline
+//! store: the experiment binaries under `crates/bench/src/bin/` own the
+//! paper's measurements, and these benches exist to (a) exercise every
+//! experiment code path from `cargo bench` and (b) give a quick relative
+//! signal on the scheduling primitives. The median over ≥10 samples is
+//! robust enough for both.
+//!
+//! # CLI / environment
+//!
+//! Cargo passes bench binaries extra arguments; the harness understands:
+//!
+//! * a positional `<filter>` — only run benchmarks whose
+//!   `group/name` contains the substring (same convention as criterion);
+//! * `--test` — run each benchmark body exactly once and print nothing
+//!   but a PASS line (used by `cargo test --benches` smoke runs);
+//! * `--bench` (ignored; cargo adds it).
+//! * `SWQUE_BENCH_SAMPLES=<n>` — samples per benchmark (default 10).
+//! * `SWQUE_BENCH_TARGET_MS=<n>` — target milliseconds per sample batch
+//!   (default 20); iteration count per sample is calibrated to this.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so bench files need only `use swque_rng::timer::*`.
+pub use std::hint::black_box as bb;
+
+/// A registry-free bench harness: call [`Bench::bench`] for each
+/// benchmark; results print immediately.
+pub struct Bench {
+    filter: Option<String>,
+    group: String,
+    samples: usize,
+    target_ms: u64,
+    test_mode: bool,
+    ran: usize,
+}
+
+impl Default for Bench {
+    fn default() -> Bench {
+        Bench::from_env()
+    }
+}
+
+impl Bench {
+    /// Builds a harness from CLI args and environment (see module docs).
+    pub fn from_env() -> Bench {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Cargo's harness flags; meaningless here.
+                "--bench" | "--nocapture" | "--quiet" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        let env_usize = |key: &str, default: usize| {
+            std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+        };
+        Bench {
+            filter,
+            group: String::new(),
+            samples: env_usize("SWQUE_BENCH_SAMPLES", 10).max(3),
+            target_ms: env_usize("SWQUE_BENCH_TARGET_MS", 20) as u64,
+            test_mode,
+            ran: 0,
+        }
+    }
+
+    /// Starts a named group; subsequent benchmarks print as
+    /// `group/name`.
+    pub fn group(&mut self, name: &str) -> &mut Bench {
+        self.group = name.to_string();
+        self
+    }
+
+    /// Overrides the per-benchmark sample count (criterion's
+    /// `sample_size` analogue).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Bench {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Times `f`, printing one result line. The closure's return value is
+    /// passed through [`black_box`] so the computation cannot be
+    /// optimized away.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        let full = if self.group.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.group, name)
+        };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.ran += 1;
+        if self.test_mode {
+            black_box(f());
+            println!("{full}: PASS (1 iter, --test mode)");
+            return;
+        }
+
+        // Calibrate: time single iterations until we know roughly how many
+        // fit the per-sample target.
+        let target = Duration::from_millis(self.target_ms.max(1));
+        let mut one = Duration::ZERO;
+        let mut warmup_iters = 0u32;
+        let warmup_deadline = Instant::now() + target;
+        while Instant::now() < warmup_deadline || warmup_iters < 1 {
+            let t0 = Instant::now();
+            black_box(f());
+            one += t0.elapsed();
+            warmup_iters += 1;
+            if warmup_iters >= 1_000 {
+                break;
+            }
+        }
+        let per_iter = one / warmup_iters.max(1);
+        let iters_per_sample =
+            (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u32;
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            sample_ns.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        sample_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = sample_ns[0];
+        let median = sample_ns[sample_ns.len() / 2];
+        let mean = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
+        println!(
+            "{full:<44} median {:>10}/iter  (min {}, mean {}; {} samples × {} iters)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(mean),
+            self.samples,
+            iters_per_sample,
+        );
+    }
+
+    /// Prints a summary; call last from `main`. Warns when a filter
+    /// matched nothing (a typo would otherwise silently pass).
+    pub fn finish(&self) {
+        if self.ran == 0 {
+            match &self.filter {
+                Some(f) => println!("warning: filter {f:?} matched no benchmarks"),
+                None => println!("warning: no benchmarks registered"),
+            }
+        }
+    }
+}
+
+/// Human-scaled duration: ns → µs → ms → s with three significant digits.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_bench(test_mode: bool) -> Bench {
+        Bench {
+            filter: None,
+            group: String::new(),
+            samples: 3,
+            target_ms: 1,
+            test_mode,
+            ran: 0,
+        }
+    }
+
+    #[test]
+    fn bench_runs_the_closure_and_counts_it() {
+        let mut b = quiet_bench(true);
+        let mut calls = 0u32;
+        b.bench("counted", || calls += 1);
+        assert_eq!(calls, 1, "--test mode runs exactly once");
+        assert_eq!(b.ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching_names() {
+        let mut b = quiet_bench(true);
+        b.filter = Some("match_me".to_string());
+        let mut calls = 0u32;
+        b.group("g");
+        b.bench("other", || calls += 1);
+        b.bench("match_me_exactly", || calls += 10);
+        assert_eq!(calls, 10);
+        assert_eq!(b.ran, 1);
+    }
+
+    #[test]
+    fn timed_mode_reports_multiple_iterations() {
+        let mut b = quiet_bench(false);
+        let mut calls = 0u64;
+        b.bench("fast", || calls += 1);
+        assert!(calls > 3, "warmup + 3 samples all execute the closure: {calls}");
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(999.0), "999.0 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.5 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_ns(3_200_000_000.0), "3.20 s");
+    }
+}

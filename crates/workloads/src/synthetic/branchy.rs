@@ -7,9 +7,7 @@
 //! lets young independent work displace older chain ops whenever the ALUs
 //! are contended — exactly the gap CIRC-PC closes (paper §4.2).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use swque_rng::Rng;
 
 use swque_isa::{Assembler, Program, Reg};
 
@@ -73,7 +71,7 @@ enum Slot {
 pub fn branchy_search(iters: u64, p: &BranchyParams) -> Program {
     assert!((1..=8).contains(&p.chains), "chains out of range");
     assert!(p.footprint.is_power_of_two() && p.footprint >= 8);
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng::seed_from_u64(p.seed);
     let mut a = Assembler::new();
 
     // Initial data: fill the footprint with LCG noise so loads are defined.
@@ -119,7 +117,7 @@ pub fn branchy_search(iters: u64, p: &BranchyParams) -> Program {
     for b in 0..p.branches {
         slots.push(Slot::Branch(b));
     }
-    slots.shuffle(&mut rng);
+    rng.shuffle(&mut slots);
     // Restore intra-chain op order after the shuffle.
     let mut chain_progress = vec![0usize; p.chains];
     let mut label_id = 0u32;

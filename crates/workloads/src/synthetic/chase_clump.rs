@@ -20,9 +20,7 @@
 //! oldest), ready chain loads repeatedly lose the port race to younger
 //! gathers, and every lost cycle lengthens the program's critical path.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use swque_rng::Rng;
 
 use swque_isa::{Assembler, FReg, Program, Reg};
 
@@ -110,7 +108,7 @@ pub fn chase_clump(iters: u64, p: &ChaseClumpParams) -> Program {
     assert!((1..=6).contains(&p.chains), "chains out of range");
     assert!(p.ring_bytes.is_power_of_two() && p.ring_bytes >= 64);
     assert!(p.gather_bytes.is_power_of_two() && p.gather_bytes >= 64);
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng::seed_from_u64(p.seed);
     let mut a = Assembler::new();
 
     // Chase ring: Sattolo single cycle over the L1-resident nodes.

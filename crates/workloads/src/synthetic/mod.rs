@@ -15,8 +15,11 @@
 //! * [`fp_recurrence`] — moderate-ILP FP: latency-critical loop-carried FP
 //!   chains with latency-tolerant side work.
 //!
-//! All generators are deterministic given their parameters (layout
-//! randomness comes from a seeded [`StdRng`]).
+//! All generators are deterministic given their parameters: layout
+//! randomness comes from the in-tree seeded [`swque_rng::Rng`], whose
+//! output stream is pinned forever, so a (kernel, parameters) pair denotes
+//! the same instruction trace in every checkout. The golden-trace tests in
+//! `tests/golden_trace.rs` enforce this.
 //!
 //! # Register conventions
 //!

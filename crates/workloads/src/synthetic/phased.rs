@@ -6,9 +6,7 @@
 //! program — and the §4.8 switch-rate measurement needs a workload that
 //! actually changes phase.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use swque_rng::Rng;
 
 use swque_isa::{Assembler, Program, Reg};
 
@@ -51,7 +49,7 @@ impl Default for PhasedParams {
 /// Panics if `chains` exceeds 8.
 pub fn phased(phases: u64, p: &PhasedParams) -> Program {
     assert!((1..=8).contains(&p.chains), "chains out of range");
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng::seed_from_u64(p.seed);
     let base = 0x100_0000u64;
     // Ring for the memory phase (Sattolo single cycle).
     let n = p.nodes as usize;

@@ -8,9 +8,7 @@
 //! memory-level parallelism, while a full-capacity queue (AGE) overlaps
 //! them all (paper §1's MLP argument and §4.2's MLP programs).
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use swque_rng::Rng;
 
 use swque_isa::{Assembler, FReg, Program, Reg};
 
@@ -52,7 +50,7 @@ impl Default for PointerChaseParams {
 /// Builds a random ring permutation (a single cycle) with Sattolo's
 /// algorithm and returns the node table: `table[i]` is the *address* of the
 /// successor of node `i`.
-fn ring_table(nodes: u64, base: u64, rng: &mut StdRng) -> Vec<u64> {
+fn ring_table(nodes: u64, base: u64, rng: &mut Rng) -> Vec<u64> {
     let n = nodes as usize;
     let mut perm: Vec<u32> = (0..n as u32).collect();
     // Sattolo: guarantees a single cycle covering all nodes.
@@ -73,7 +71,7 @@ fn ring_table(nodes: u64, base: u64, rng: &mut StdRng) -> Vec<u64> {
 pub fn pointer_chase(iters: u64, p: &PointerChaseParams) -> Program {
     assert!((1..=8).contains(&p.chains), "chains out of range");
     assert!(p.nodes >= p.chains as u64 * 8, "ring too small for the chains");
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng::seed_from_u64(p.seed);
     let base = 0x100_0000u64;
     let table = ring_table(p.nodes, base, &mut rng);
 
@@ -146,7 +144,7 @@ mod tests {
 
     #[test]
     fn ring_is_a_single_cycle() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let n = 256u64;
         let base = 0u64;
         let table = ring_table(n, base, &mut rng);

@@ -6,9 +6,7 @@
 //! recurrence — the FP flavour of the priority-sensitivity that CIRC-PC
 //! exploits (paper §4.2's moderate-ILP FP programs).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use swque_rng::Rng;
 
 use swque_isa::{Assembler, FReg, Program, Reg};
 
@@ -63,7 +61,7 @@ enum Slot {
 /// Panics if `chains` is outside `1..=8`.
 pub fn fp_recurrence(iters: u64, p: &FpRecurrenceParams) -> Program {
     assert!((1..=8).contains(&p.chains), "chains out of range");
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng::seed_from_u64(p.seed);
     let mut a = Assembler::new();
 
     let base = 0x40_0000u64;
@@ -103,7 +101,7 @@ pub fn fp_recurrence(iters: u64, p: &FpRecurrenceParams) -> Program {
     for b in 0..p.branches {
         slots.push(Slot::Branch(b));
     }
-    slots.shuffle(&mut rng);
+    rng.shuffle(&mut slots);
 
     let mut chain_step = vec![0usize; p.chains];
     let mut label_id = 0u32;

@@ -6,9 +6,7 @@
 //! that matters, so AGE ≈ SWQUE and CIRC-style allocation loses (paper
 //! §4.2's rich-ILP FP programs).
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use swque_rng::Rng;
 
 use swque_isa::{Assembler, FReg, Program, Reg};
 
@@ -50,7 +48,7 @@ pub fn stream_fp(iters: u64, p: &StreamFpParams) -> Program {
     assert!((1..=4).contains(&p.arrays), "arrays out of range");
     assert!(p.unroll > 0, "unroll must be positive");
     assert!(p.footprint.is_power_of_two() && p.footprint >= (p.unroll as u64) * 8);
-    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut rng = Rng::seed_from_u64(p.seed);
     let mut a = Assembler::new();
 
     // Seed only the first page of each array with seed-dependent values;

@@ -1,7 +1,10 @@
 //! Property tests over the workload generators: arbitrary in-range
 //! parameters must always yield terminating, memory-bounded programs.
+//!
+//! Ported from `proptest` to the in-tree harness (`swque_rng::prop`);
+//! each property keeps at least its original case count (24).
 
-use proptest::prelude::*;
+use swque_rng::prop::check;
 
 use swque_isa::Emulator;
 use swque_workloads::synthetic::{
@@ -9,21 +12,18 @@ use swque_workloads::synthetic::{
     ChaseClumpParams, FpRecurrenceParams, PointerChaseParams, StreamFpParams,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// chase_clump over its whole parameter space: terminates, chains stay
-    /// on their ring, the gather cursor stays in its buffer.
-    #[test]
-    fn chase_clump_parameter_space(
-        chains in 1usize..=6,
-        links in 1usize..=4,
-        link_alu in 0usize..=3,
-        young in 0usize..=16,
-        stride in prop_oneof![Just(8u64), Just(64), Just(128)],
-        hard in 0usize..=3,
-        seed in any::<u64>(),
-    ) {
+/// chase_clump over its whole parameter space: terminates, chains stay
+/// on their ring, the gather cursor stays in its buffer.
+#[test]
+fn chase_clump_parameter_space() {
+    check(24, |g| {
+        let chains = g.gen_range(1usize..7);
+        let links = g.gen_range(1usize..5);
+        let link_alu = g.gen_range(0usize..4);
+        let young = g.gen_range(0usize..17);
+        let stride = *g.rng().choose(&[8u64, 64, 128]).unwrap();
+        let hard = g.gen_range(0usize..4);
+        let seed = g.u64();
         let p = ChaseClumpParams {
             chains,
             links,
@@ -39,24 +39,27 @@ proptest! {
         let program = chase_clump(40, &p);
         let mut emu = Emulator::new(&program);
         let retired = emu.run(5_000_000).expect("terminates");
-        prop_assert!(retired > 40, "does real work");
+        assert!(retired > 40, "does real work");
         for c in 0..chains as u8 {
             let ptr = emu.int_reg(swque_isa::Reg(16 + c));
-            prop_assert!(
+            assert!(
                 (0x10_0000..0x10_0000 + (4u64 << 10)).contains(&ptr),
                 "chain {c} on ring: {ptr:#x}"
             );
         }
         let cursor = emu.int_reg(swque_isa::Reg(25));
-        prop_assert!(
+        assert!(
             (0x80_0000..0x80_0000 + (16u64 << 10)).contains(&cursor),
             "gather cursor in bounds: {cursor:#x}"
         );
-    }
+    });
+}
 
-    /// Every archetype terminates for arbitrary seeds.
-    #[test]
-    fn all_archetypes_terminate_for_any_seed(seed in any::<u64>()) {
+/// Every archetype terminates for arbitrary seeds.
+#[test]
+fn all_archetypes_terminate_for_any_seed() {
+    check(24, |g| {
+        let seed = g.u64();
         let programs = [
             branchy_search(20, &BranchyParams { seed, ..BranchyParams::default() }),
             pointer_chase(
@@ -68,14 +71,17 @@ proptest! {
         ];
         for program in &programs {
             let mut emu = Emulator::new(program);
-            prop_assert!(emu.run(5_000_000).is_ok());
+            assert!(emu.run(5_000_000).is_ok());
         }
-    }
+    });
+}
 
-    /// Scale is linear-ish: doubling iterations roughly doubles the dynamic
-    /// instruction count (the loops have fixed bodies).
-    #[test]
-    fn scale_controls_dynamic_length(seed in any::<u64>()) {
+/// Scale is linear-ish: doubling iterations roughly doubles the dynamic
+/// instruction count (the loops have fixed bodies).
+#[test]
+fn scale_controls_dynamic_length() {
+    check(24, |g| {
+        let seed = g.u64();
         let p = ChaseClumpParams {
             ring_bytes: 4 << 10,
             gather_bytes: 16 << 10,
@@ -90,6 +96,6 @@ proptest! {
         let short = run(50) as f64;
         let long = run(100) as f64;
         let ratio = long / short;
-        prop_assert!((1.8..2.2).contains(&ratio), "iters scale dynamic length: {ratio:.2}");
-    }
+        assert!((1.8..2.2).contains(&ratio), "iters scale dynamic length: {ratio:.2}");
+    });
 }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate — the exact check CI, reviewers, and builders run.
+#
+# The workspace is hermetic: every dependency is an in-tree path crate and
+# Cargo.lock contains no registry entries, so --offline must succeed on a
+# clean checkout with no network and no pre-populated ~/.cargo cache. If
+# this script fails on such a machine, that is a regression, not an
+# environment problem.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release --offline"
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q --offline"
+cargo test -q --offline
+
+echo "== extended: cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "== hermeticity: no external dependency entries in any manifest"
+if grep -rn --include=Cargo.toml -E '^\s*(rand|proptest|criterion)\b' . ; then
+    echo "error: external dependency reference found above" >&2
+    exit 1
+fi
+if grep -n 'source = ' Cargo.lock; then
+    echo "error: Cargo.lock references a registry source" >&2
+    exit 1
+fi
+
+echo "verify: OK"

@@ -16,6 +16,9 @@
 //! * [`workloads`] — SPEC2017-like synthetic kernels.
 //! * [`circuit`] — analytical area / delay / energy models of the IQ
 //!   circuits.
+//! * [`rng`] — the in-tree deterministic randomness substrate (pinned
+//!   xoshiro256\*\* PRNG, property-test harness, bench timer) that keeps
+//!   the workspace dependency-free and every workload trace reproducible.
 //!
 //! # Quickstart
 //!
@@ -37,4 +40,5 @@ pub use swque_core as iq;
 pub use swque_cpu as cpu;
 pub use swque_isa as isa;
 pub use swque_mem as mem;
+pub use swque_rng as rng;
 pub use swque_workloads as workloads;

@@ -8,7 +8,7 @@
 //! * Table 3's switch interval (10k instructions) — sweep it.
 //! * The FLPI region size (unspecified in the paper) — sweep the fraction.
 
-use swque_bench::{geomean, harness, Table};
+use swque_bench::{geomean, harness, Report, Table};
 use swque_core::IqKind;
 use swque_cpu::{Core, CoreConfig};
 use swque_workloads::suite;
@@ -54,4 +54,5 @@ fn main() {
 
     println!("\nAblations of SWQUE design choices (suite GM IPC, medium model)\n");
     println!("{t}");
+    Report::new("ablations").add_table("ablations", &t).finish();
 }

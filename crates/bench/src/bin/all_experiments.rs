@@ -3,6 +3,11 @@
 //!
 //! Budget knobs: `SWQUE_INSTS` (measured instructions per run, default
 //! 400k) and `SWQUE_WARMUP` (warmup instructions, default 300k).
+//!
+//! With `SWQUE_JSON=<dir>` set, the value is treated as a *directory*
+//! (created if missing) and every child experiment writes its structured
+//! report to `<dir>/BENCH_<experiment>.json` — one `swque-bench-v1`
+//! document per figure/table, ready for downstream tooling.
 
 use std::process::Command;
 
@@ -12,17 +17,30 @@ fn main() {
         .parent()
         .expect("bin dir")
         .to_path_buf();
+    let json_dir = swque_bench::json_path();
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("SWQUE_JSON: cannot create {}: {e}", dir.display()));
+    }
     let experiments = [
-        "tables", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "tab06",
-        "sec47", "sec48",
+        "tables", "fig08", "fig09", "fig10", "fig10_timeline", "fig11", "fig12", "fig13",
+        "fig14", "tab06", "sec47", "sec48",
     ];
     for exp in experiments {
         println!("\n=============================================================");
         println!("== {exp}");
         println!("=============================================================\n");
-        let status = Command::new(exe_dir.join(exp))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        let mut cmd = Command::new(exe_dir.join(exp));
+        match &json_dir {
+            Some(dir) => cmd.env("SWQUE_JSON", dir.join(format!("BENCH_{exp}.json"))),
+            // Children must not misread the (empty/absent) variable as a
+            // file path of their own.
+            None => cmd.env_remove("SWQUE_JSON"),
+        };
+        let status = cmd.status().unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
         assert!(status.success(), "{exp} failed");
+    }
+    if let Some(dir) = &json_dir {
+        println!("\nStructured reports written to {}/BENCH_*.json", dir.display());
     }
 }

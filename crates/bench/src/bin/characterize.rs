@@ -2,7 +2,7 @@
 //! memory behaviour of every suite kernel — the numbers that justify each
 //! kernel's m-ILP / r-ILP / MLP class assignment.
 
-use swque_bench::{run_kernel, RunSpec, Table};
+use swque_bench::{run_kernel, Report, RunSpec, Table};
 use swque_core::IqKind;
 use swque_isa::{Emulator, FuClass};
 use swque_workloads::suite;
@@ -42,6 +42,7 @@ fn main() {
     }
     println!("Suite characterization (mix from functional runs; timing on AGE)\n");
     println!("{t}");
+    Report::new("characterize").add_table("characterization", &t).finish();
     println!("\n(m-ILP kernels: load-heavy, sub-1 MPKI, branchy with real mispredicts;");
     println!(" MLP kernels: tens of MPKI; r-ILP kernels: FP-dominated, high IPC)");
 }

@@ -1,0 +1,109 @@
+//! Schema validator for structured experiment output: parses each file
+//! named on the command line with the in-tree JSON parser and checks the
+//! `swque-bench-v1` shape (and the nested `swque-trace-v1` shape of any
+//! embedded trace digests). Used by `scripts/verify.sh` as the JSON smoke
+//! step; exits non-zero with a description on the first violation.
+
+use std::process::ExitCode;
+
+use swque_bench::BENCH_SCHEMA;
+use swque_trace::Json;
+
+fn check_report(doc: &Json) -> Result<String, String> {
+    let keys = doc.keys();
+    let expect = ["schema", "experiment", "params", "tables", "rows", "traces"];
+    if keys != expect {
+        return Err(format!("top-level keys {keys:?}, expected {expect:?}"));
+    }
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != BENCH_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {BENCH_SCHEMA:?}"));
+    }
+    let experiment = doc
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or("experiment is not a string")?;
+    let params = doc.get("params").ok_or("missing params")?;
+    for key in ["warmup_insts", "max_insts"] {
+        params
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("params.{key} is not an integer"))?;
+    }
+    let tables = doc.get("tables").and_then(Json::as_arr).ok_or("tables is not an array")?;
+    for t in tables {
+        if t.keys() != ["name", "header", "rows"] {
+            return Err(format!("table keys {:?}", t.keys()));
+        }
+        let width = t.get("header").and_then(Json::as_arr).ok_or("table header")?.len();
+        for row in t.get("rows").and_then(Json::as_arr).ok_or("table rows")? {
+            let cells = row.as_arr().ok_or("table row is not an array")?;
+            if cells.len() != width {
+                return Err(format!("row width {} vs header {width}", cells.len()));
+            }
+        }
+    }
+    doc.get("rows").and_then(Json::as_arr).ok_or("rows is not an array")?;
+    let traces = doc.get("traces").and_then(Json::as_arr).ok_or("traces is not an array")?;
+    for entry in traces {
+        entry.get("program").and_then(Json::as_str).ok_or("trace entry without program")?;
+        let t = entry.get("trace").ok_or("trace entry without trace")?;
+        let ts = t.get("schema").and_then(Json::as_str).unwrap_or("");
+        if ts != "swque-trace-v1" {
+            return Err(format!("trace schema {ts:?}"));
+        }
+        for key in ["events", "dropped", "switches", "circ_pc_intervals", "age_intervals"] {
+            t.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("trace.{key} is not an integer"))?;
+        }
+        t.get("circ_pc_fraction").and_then(Json::as_f64).ok_or("trace.circ_pc_fraction")?;
+        t.get("mode_strip").and_then(Json::as_str).ok_or("trace.mode_strip")?;
+        let intervals = t.get("intervals").and_then(Json::as_arr).ok_or("trace.intervals")?;
+        for iv in intervals {
+            let want = ["cycle", "retired", "mpki", "flpi", "mode", "instability", "switched"];
+            if iv.keys() != want {
+                return Err(format!("interval keys {:?}", iv.keys()));
+            }
+        }
+        t.get("ipc").and_then(Json::as_arr).ok_or("trace.ipc")?;
+    }
+    Ok(format!(
+        "{experiment}: {} table(s), {} row(s), {} trace(s)",
+        tables.len(),
+        doc.get("rows").and_then(Json::as_arr).map_or(0, |r| r.len()),
+        traces.len(),
+    ))
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: check_json <report.json>...");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{path}: parse error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_report(&doc) {
+            Ok(desc) => println!("{path}: ok ({desc})"),
+            Err(e) => {
+                eprintln!("{path}: schema violation: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

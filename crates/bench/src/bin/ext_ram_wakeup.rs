@@ -8,7 +8,7 @@
 //! broadcasts. This binary quantifies that trade with the same area/energy
 //! models used for the paper's figures.
 
-use swque_bench::{run_kernel, RunSpec, Table};
+use swque_bench::{run_kernel, Report, RunSpec, Table};
 use swque_circuit::area::areas;
 use swque_circuit::energy::iq_energy;
 use swque_circuit::{IqGeometry, WakeupStyle};
@@ -56,6 +56,7 @@ fn main() {
 
     println!("Extension: SWQUE over a RAM-type wakeup (paper §2.1 future work)\n");
     println!("{t}");
+    Report::new("ext_ram_wakeup").add_table("ram_wakeup", &t).finish();
     println!("\n(The dependency matrix enlarges the wakeup structure — which also");
     println!(" shrinks SWQUE's *relative* overhead — while cutting broadcast energy.");
     println!(" Scheduling behaviour, and therefore every IPC result, is unchanged.)");

@@ -2,7 +2,7 @@
 //! random queue of Sakai et al. — the related-work §5 scheme that protects
 //! *multiple* oldest instructions — compare against AGE and SWQUE?
 
-use swque_bench::{geomean, run_suite, RunSpec, Table};
+use swque_bench::{geomean, run_suite, Report, RunSpec, Table};
 use swque_core::IqKind;
 use swque_workloads::Category;
 
@@ -38,4 +38,5 @@ fn main() {
     println!(" with full capacity efficiency, but cannot reach SWQUE's CIRC-PC");
     println!(" phases — consistent with the paper's related-work discussion)\n");
     println!("{table}");
+    Report::new("ext_rearrange").add_table("rearrange", &table).finish();
 }

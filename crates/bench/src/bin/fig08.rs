@@ -1,7 +1,7 @@
 //! Figure 8: IPC degradation relative to SHIFT for CIRC, RAND, AGE and
 //! SWQUE (geometric mean over the INT and FP suites, medium model).
 
-use swque_bench::{geomean, run_suite, RunSpec, Table};
+use swque_bench::{geomean, run_suite, Report, RunSpec, Table};
 use swque_core::IqKind;
 use swque_workloads::Category;
 
@@ -28,4 +28,5 @@ fn main() {
     println!("(longer = worse; the paper reports >10% for CIRC/RAND, ~8% AGE-INT,");
     println!(" and SWQUE within 0.8% (INT) / 2.4% (FP) of SHIFT)\n");
     println!("{table}");
+    Report::new("fig08").add_table("degradation", &table).finish();
 }

@@ -2,7 +2,7 @@
 //! variants CIRC-CONV, CIRC-PPRI (idealized perfect priority), and CIRC-PC
 //! (the paper's realizable priority correction).
 
-use swque_bench::{geomean, run_suite, RunSpec, Table};
+use swque_bench::{geomean, run_suite, Report, RunSpec, Table};
 use swque_core::IqKind;
 use swque_workloads::Category;
 
@@ -30,4 +30,5 @@ fn main() {
     println!(" the two-cycle RV issue path costs ~1.1% because ready wrapped");
     println!(" instructions are latency-tolerant)\n");
     println!("{table}");
+    Report::new("fig11").add_table("degradation", &table).finish();
 }

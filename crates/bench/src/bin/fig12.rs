@@ -2,7 +2,7 @@
 //! shifting queue (I-SHIFT), split into static/dynamic × basic/SWQUE-
 //! specific, aggregated over the whole suite (medium model).
 
-use swque_bench::{run_suite, RunSpec, Table};
+use swque_bench::{run_suite, Report, RunSpec, Table};
 use swque_circuit::energy::{iq_energy, EnergyBreakdown};
 use swque_circuit::IqGeometry;
 use swque_core::IqKind;
@@ -56,4 +56,5 @@ fn main() {
     println!("(paper: SWQUE totals only ~0.5% above I-SHIFT; the SWQUE-specific");
     println!(" slices are nearly invisible)\n");
     println!("{table}");
+    Report::new("fig12").add_table("energy", &table).finish();
 }

@@ -1,6 +1,6 @@
 //! Figure 13: relative size of each circuit in SWQUE (medium geometry).
 
-use swque_bench::Table;
+use swque_bench::{Report, Table};
 use swque_circuit::area::areas;
 use swque_circuit::IqGeometry;
 
@@ -17,6 +17,7 @@ fn main() {
     println!("(paper: the age matrix dominates; the tag RAM is small — which is");
     println!(" why its time-sliced double access fits in a cycle)\n");
     println!("{table}");
+    Report::new("fig13").add_table("area", &table).finish();
     println!(
         "\nSWQUE area overhead vs baseline IQ: {:.1}% (paper: 17%)",
         a.overhead_fraction() * 100.0

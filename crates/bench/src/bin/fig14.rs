@@ -2,7 +2,7 @@
 //! speedup over single-matrix AGE for SWQUE-1AM, AGE-multiAM and
 //! SWQUE-multiAM, on the medium (7 matrices) and large (9 matrices) models.
 
-use swque_bench::{geomean, run_suite, RunSpec, Table};
+use swque_bench::{geomean, run_suite, Report, RunSpec, Table};
 use swque_core::IqKind;
 use swque_workloads::Category;
 
@@ -42,4 +42,5 @@ fn main() {
     println!("(paper: AGE-multiAM gains only ~1.4%; SWQUE's INT advantage persists");
     println!(" because CIRC-PC, not the age matrix, is its speedup source)\n");
     println!("{table}");
+    Report::new("fig14").add_table("multi_am", &table).finish();
 }

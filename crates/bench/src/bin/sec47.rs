@@ -2,7 +2,7 @@
 //! path and whether the double (time-sliced) tag-RAM access fits in a
 //! cycle.
 
-use swque_bench::Table;
+use swque_bench::{Report, Table};
 use swque_circuit::delay::delays;
 use swque_circuit::IqGeometry;
 
@@ -31,4 +31,5 @@ fn main() {
     println!("(paper at medium geometry: double tag access = 66% of the IQ critical");
     println!(" path, payload read = 43%, DTM adds 1.3%)\n");
     println!("{t}");
+    Report::new("sec47").add_table("delay", &t).finish();
 }

@@ -1,7 +1,7 @@
 //! Section 4.8: sensitivity of SWQUE to the mode-switch penalty (10 vs 40
 //! cycles) and the measured switch rate per million cycles.
 
-use swque_bench::{geomean, run_kernel, RunSpec, Table};
+use swque_bench::{geomean, run_kernel, Report, RunSpec, Table};
 use swque_core::IqKind;
 use swque_workloads::suite;
 
@@ -36,6 +36,7 @@ fn main() {
     println!("Section 4.8: switch-penalty sensitivity (10 vs 40 cycles)");
     println!("(paper: only 0.02% average degradation, because transitions occur");
     println!(" ~8 times per million cycles)\n");
+    Report::new("sec48").add_table("penalty_sensitivity", &t).finish();
     println!("{t}");
     println!(
         "\nGM degradation at 40 cycles: {:+.2}%   mean switch rate: {:.1}/Mcycle",

@@ -2,7 +2,7 @@
 //! CIRC-PC's time-sliced double tag-RAM access stops fitting in a cycle,
 //! and how the SWQUE area overhead moves.
 
-use swque_bench::Table;
+use swque_bench::{Report, Table};
 use swque_circuit::area::areas;
 use swque_circuit::delay::delays;
 use swque_circuit::IqGeometry;
@@ -35,4 +35,5 @@ fn main() {
     println!("(the paper's design point is 128 entries; the double tag access");
     println!(" has large margin there and the trend shows where it would not)\n");
     println!("{t}");
+    Report::new("sensitivity").add_table("circuit_scaling", &t).finish();
 }

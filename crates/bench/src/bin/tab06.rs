@@ -1,7 +1,7 @@
 //! Table 6: SWQUE's additional cost and the cost-neutral comparison —
 //! giving AGE the same extra area as 17% more entries (150) instead.
 
-use swque_bench::{geomean, run_suite, RunSpec, Table};
+use swque_bench::{geomean, run_suite, Report, RunSpec, Table};
 use swque_circuit::area::cost_summary;
 use swque_circuit::IqGeometry;
 use swque_core::IqKind;
@@ -57,5 +57,6 @@ fn main() {
     println!("Table 6: additional costs and cost-neutral performance comparison");
     println!("(paper: +9.8%/+3.7% for SWQUE vs -0.6%/-0.1% for simply enlarging AGE —");
     println!(" spending the area on more entries does not help)\n");
+    Report::new("tab06").add_table("cost", &t).finish();
     println!("{t}");
 }

@@ -1,12 +1,12 @@
 //! Tables 2–5: configuration tables (2–4) rendered from the actual config
 //! structs, and the transistor-density comparison (Table 5).
 
-use swque_bench::Table;
+use swque_bench::{Report, Table};
 use swque_circuit::area::density;
 use swque_core::SwqueParams;
 use swque_cpu::CoreConfig;
 
-fn table2() {
+fn table2(report: &mut Report) {
     let c = CoreConfig::medium();
     let mut t = Table::new(["parameter", "value"]);
     t.row(["Pipeline width", &format!("{}-instruction fetch/decode/issue/commit", c.width)]);
@@ -63,9 +63,10 @@ fn table2() {
         ),
     ]);
     println!("Table 2: base processor configuration\n\n{t}");
+    report.add_table("table2", &t);
 }
 
-fn table3() {
+fn table3(report: &mut Report) {
     let p = SwqueParams::default();
     let mut t = Table::new(["parameter", "value"]);
     t.row(["Switch interval", &format!("{} instructions", p.interval_insts)]);
@@ -76,9 +77,10 @@ fn table3() {
     t.row(["Reduction of FLPI threshold at instability", &format!("{}", p.flpi_reduction)]);
     t.row(["Instability counter reset interval", &format!("{} instructions", p.reset_interval_insts)]);
     println!("Table 3: parameters for SWQUE\n\n{t}");
+    report.add_table("table3", &t);
 }
 
-fn table4() {
+fn table4(report: &mut Report) {
     let m = CoreConfig::medium();
     let l = CoreConfig::large();
     let mut t = Table::new(["parameter", "medium", "large"]);
@@ -94,9 +96,10 @@ fn table4() {
     t.row(["Number of iALUs", &m.fu_counts[0].to_string(), &l.fu_counts[0].to_string()]);
     t.row(["Number of FPUs", &m.fu_counts[3].to_string(), &l.fu_counts[3].to_string()]);
     println!("Table 4: medium/large processor models\n\n{t}");
+    report.add_table("table4", &t);
 }
 
-fn table5() {
+fn table5(report: &mut Report) {
     let mut t = Table::new(["design", "circuit", "tr. density (x10^-3 / lambda^2)"]);
     t.row(["this model", "tag RAM", &format!("{:.3}", density::TAG_RAM)]);
     t.row(["this model", "wakeup logic", &format!("{:.3}", density::WAKEUP)]);
@@ -106,25 +109,28 @@ fn table5() {
     t.row(["Fujitsu", "54-bit FP multiplier", &format!("{:.3}", density::REF_MULTIPLIER)]);
     t.row(["Intel", "processor (Skylake)", &format!("{:.3}", density::REF_SKYLAKE)]);
     println!("Table 5: transistor density comparison\n\n{t}");
+    report.add_table("table5", &t);
     println!("(IQ circuits are sparser than the dense L2 but comparable to or denser");
     println!(" than logic arrays and the whole Skylake chip — the layout is reasonable)");
 }
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mut report = Report::new("tables");
     match which.as_str() {
-        "table2" => table2(),
-        "table3" => table3(),
-        "table4" => table4(),
-        "table5" => table5(),
+        "table2" => table2(&mut report),
+        "table3" => table3(&mut report),
+        "table4" => table4(&mut report),
+        "table5" => table5(&mut report),
         _ => {
-            table2();
+            table2(&mut report);
             println!();
-            table3();
+            table3(&mut report);
             println!();
-            table4();
+            table4(&mut report);
             println!();
-            table5();
+            table5(&mut report);
         }
     }
+    report.finish();
 }

@@ -2,7 +2,7 @@
 //! the workload parameters can be validated against the paper's expected
 //! shape (not itself a paper figure).
 
-use swque_bench::{run_suite, RunSpec, Table};
+use swque_bench::{run_suite, Report, RunSpec, Table};
 use swque_core::IqKind;
 
 fn main() {
@@ -40,4 +40,5 @@ fn main() {
         t.row(cells);
     }
     println!("{t}");
+    Report::new("tune").add_table("per_kernel_ipc", &t).finish();
 }

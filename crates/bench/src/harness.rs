@@ -4,7 +4,16 @@ use std::sync::Mutex;
 
 use swque_core::IqKind;
 use swque_cpu::{Core, CoreConfig, SimResult};
+use swque_trace::{TraceHandle, TraceSummary};
 use swque_workloads::{suite, Kernel};
+
+/// Ring-buffer capacity (events) for traced runs. Sized so the default
+/// instruction budgets keep a complete event stream: one interval plus one
+/// IPC sample per 10k retired instructions, plus switches, stall episodes,
+/// and memory epochs, leaves orders of magnitude of headroom up to
+/// multi-million-instruction runs. Overflow degrades gracefully — the ring
+/// keeps the newest events and reports the loss in `TraceSummary::dropped`.
+pub const TRACE_CAPACITY: usize = 16_384;
 
 /// Which of the paper's processor models to simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +106,28 @@ pub fn run_kernel(kernel: &Kernel, spec: &RunSpec) -> SimResult {
     core.run(spec.warmup_insts + spec.max_insts).delta(&warm)
 }
 
+/// Like [`run_kernel`] but with a [`TraceHandle`] attached for the measured
+/// window: warmup runs untraced (cold-cache transients would pollute the
+/// series exactly the way they would pollute IPC), then a fresh
+/// [`TRACE_CAPACITY`]-event ring observes the measurement and is reduced to
+/// a [`TraceSummary`].
+pub fn run_kernel_traced(kernel: &Kernel, spec: &RunSpec) -> (SimResult, TraceSummary) {
+    let program = match spec.scale {
+        Some(s) => kernel.build_scaled(s),
+        None => kernel.build(),
+    };
+    let mut core = Core::new(spec.model.config(), spec.iq, &program);
+    let warm = core.run(spec.warmup_insts);
+    if core.finished() {
+        return (warm, TraceSummary::default());
+    }
+    let trace = TraceHandle::ring(TRACE_CAPACITY);
+    core.attach_trace(&trace);
+    let result = core.run(spec.warmup_insts + spec.max_insts).delta(&warm);
+    let summary = TraceSummary::from_events(&trace.events(), trace.dropped());
+    (result, summary)
+}
+
 /// One suite kernel's results across a set of run specs.
 #[derive(Debug, Clone)]
 pub struct SuiteRow {
@@ -104,11 +135,26 @@ pub struct SuiteRow {
     pub kernel: Kernel,
     /// One result per requested spec, in request order.
     pub results: Vec<SimResult>,
+    /// One trace digest per spec when produced by [`run_suite_traced`];
+    /// empty for untraced sweeps ([`run_suite`]).
+    pub traces: Vec<TraceSummary>,
 }
 
 /// Runs every suite kernel under each spec (kernels in parallel across
 /// threads), returning rows in suite order.
 pub fn run_suite(specs: &[RunSpec]) -> Vec<SuiteRow> {
+    sweep(specs, false)
+}
+
+/// [`run_suite`] with a trace ring attached to every run (see
+/// [`run_kernel_traced`]): each returned row carries one [`TraceSummary`]
+/// per spec. Trace handles live entirely inside the worker thread that
+/// owns the run — only the plain-data summaries cross threads.
+pub fn run_suite_traced(specs: &[RunSpec]) -> Vec<SuiteRow> {
+    sweep(specs, true)
+}
+
+fn sweep(specs: &[RunSpec], traced: bool) -> Vec<SuiteRow> {
     let kernels = suite::all();
     let rows: Mutex<Vec<Option<SuiteRow>>> = Mutex::new(vec![None; kernels.len()]);
     let next: Mutex<usize> = Mutex::new(0);
@@ -126,10 +172,19 @@ pub fn run_suite(specs: &[RunSpec]) -> Vec<SuiteRow> {
                     break;
                 }
                 let kernel = &kernels[i];
-                let results: Vec<SimResult> =
-                    specs.iter().map(|s| run_kernel(kernel, s)).collect();
+                let mut results = Vec::with_capacity(specs.len());
+                let mut traces = Vec::new();
+                for s in specs {
+                    if traced {
+                        let (r, t) = run_kernel_traced(kernel, s);
+                        results.push(r);
+                        traces.push(t);
+                    } else {
+                        results.push(run_kernel(kernel, s));
+                    }
+                }
                 rows.lock().expect("result lock")[i] =
-                    Some(SuiteRow { kernel: kernel.clone(), results });
+                    Some(SuiteRow { kernel: kernel.clone(), results, traces });
             });
         }
     });

@@ -24,6 +24,16 @@ impl Table {
         self
     }
 
+    /// Column headers, in display order.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Data rows, in insertion order (each padded to the header width).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

@@ -92,8 +92,8 @@ impl BranchStats {
     /// exclude warmup).
     pub fn delta(&self, earlier: &BranchStats) -> BranchStats {
         BranchStats {
-            predicted: self.predicted - earlier.predicted,
-            mispredicted: self.mispredicted - earlier.mispredicted,
+            predicted: self.predicted.saturating_sub(earlier.predicted),
+            mispredicted: self.mispredicted.saturating_sub(earlier.mispredicted),
         }
     }
 

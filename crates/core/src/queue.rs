@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use swque_trace::TraceHandle;
+
 use crate::circ::CircQueue;
 use crate::circ_pc::CircPcQueue;
 use crate::controller::SwqueParams;
@@ -223,12 +225,20 @@ pub trait IssueQueue: fmt::Debug {
     /// Accumulated statistics.
     fn stats(&self) -> IqStats;
 
-    /// Offered the current retired-instruction and LLC-miss totals once per
-    /// cycle; returns `true` when the queue wants a pipeline flush to
-    /// reconfigure itself (only SWQUE ever does).
-    fn poll_mode_switch(&mut self, retired_insts: u64, llc_misses: u64) -> bool {
-        let _ = (retired_insts, llc_misses);
+    /// Offered the current cycle plus retired-instruction and LLC-miss
+    /// totals once per cycle; returns `true` when the queue wants a
+    /// pipeline flush to reconfigure itself (only SWQUE ever does). The
+    /// cycle stamps the trace events the decision emits.
+    fn poll_mode_switch(&mut self, cycle: u64, retired_insts: u64, llc_misses: u64) -> bool {
+        let _ = (cycle, retired_insts, llc_misses);
         false
+    }
+
+    /// Hands the queue a trace handle to emit observability events into
+    /// (see `swque-trace`). Non-switching queues have nothing interval-
+    /// shaped to report and ignore it.
+    fn attach_trace(&mut self, trace: &TraceHandle) {
+        let _ = trace;
     }
 
     /// Current operating mode (meaningful for SWQUE).

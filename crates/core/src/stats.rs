@@ -37,17 +37,17 @@ impl IqStats {
     /// exclude warmup).
     pub fn delta(&self, earlier: &IqStats) -> IqStats {
         IqStats {
-            dispatched: self.dispatched - earlier.dispatched,
-            issued: self.issued - earlier.issued,
-            issued_low_priority: self.issued_low_priority - earlier.issued_low_priority,
-            wakeups: self.wakeups - earlier.wakeups,
-            selects: self.selects - earlier.selects,
-            occupancy_sum: self.occupancy_sum - earlier.occupancy_sum,
-            region_sum: self.region_sum - earlier.region_sum,
-            rv_issues: self.rv_issues - earlier.rv_issues,
-            rv_discards: self.rv_discards - earlier.rv_discards,
-            tag_reads: self.tag_reads - earlier.tag_reads,
-            dispatch_stalls: self.dispatch_stalls - earlier.dispatch_stalls,
+            dispatched: self.dispatched.saturating_sub(earlier.dispatched),
+            issued: self.issued.saturating_sub(earlier.issued),
+            issued_low_priority: self.issued_low_priority.saturating_sub(earlier.issued_low_priority),
+            wakeups: self.wakeups.saturating_sub(earlier.wakeups),
+            selects: self.selects.saturating_sub(earlier.selects),
+            occupancy_sum: self.occupancy_sum.saturating_sub(earlier.occupancy_sum),
+            region_sum: self.region_sum.saturating_sub(earlier.region_sum),
+            rv_issues: self.rv_issues.saturating_sub(earlier.rv_issues),
+            rv_discards: self.rv_discards.saturating_sub(earlier.rv_discards),
+            tag_reads: self.tag_reads.saturating_sub(earlier.tag_reads),
+            dispatch_stalls: self.dispatch_stalls.saturating_sub(earlier.dispatch_stalls),
         }
     }
 
@@ -102,11 +102,11 @@ impl SwqueStats {
     /// exclude warmup).
     pub fn delta(&self, earlier: &SwqueStats) -> SwqueStats {
         SwqueStats {
-            switches: self.switches - earlier.switches,
-            cycles_circ_pc: self.cycles_circ_pc - earlier.cycles_circ_pc,
-            cycles_age: self.cycles_age - earlier.cycles_age,
-            intervals: self.intervals - earlier.intervals,
-            threshold_reductions: self.threshold_reductions - earlier.threshold_reductions,
+            switches: self.switches.saturating_sub(earlier.switches),
+            cycles_circ_pc: self.cycles_circ_pc.saturating_sub(earlier.cycles_circ_pc),
+            cycles_age: self.cycles_age.saturating_sub(earlier.cycles_age),
+            intervals: self.intervals.saturating_sub(earlier.intervals),
+            threshold_reductions: self.threshold_reductions.saturating_sub(earlier.threshold_reductions),
         }
     }
 

@@ -13,6 +13,8 @@
 //! and charge the switch penalty ([`SwqueParams::switch_penalty`] cycles) —
 //! the reconfiguration itself happens inside `flush`.
 
+use swque_trace::{TraceEvent, TraceHandle};
+
 use crate::circ_pc::CircPcQueue;
 use crate::controller::{IntervalMetrics, ModeDecision, SwqueController, SwqueParams};
 use crate::queue::{IqConfig, IssueQueue};
@@ -42,6 +44,7 @@ pub struct Swque {
     next_interval_at: u64,
     interval_start: IntervalStart,
     stats: SwqueStats,
+    trace: TraceHandle,
 }
 
 impl Swque {
@@ -59,6 +62,7 @@ impl Swque {
             next_interval_at: config.swque.interval_insts,
             interval_start: IntervalStart::default(),
             stats: SwqueStats::default(),
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -183,7 +187,7 @@ impl IssueQueue for Swque {
         }
     }
 
-    fn poll_mode_switch(&mut self, retired_insts: u64, llc_misses: u64) -> bool {
+    fn poll_mode_switch(&mut self, cycle: u64, retired_insts: u64, llc_misses: u64) -> bool {
         if self.pending_mode.is_some() {
             // Waiting for the core to perform the flush.
             return true;
@@ -195,6 +199,7 @@ impl IssueQueue for Swque {
         self.stats.intervals += 1;
         self.controller.maybe_periodic_reset(retired_insts);
 
+        let interval_mode = self.effective_mode();
         let (issued, low) = self.combined_issue_counters();
         let d_retired = retired_insts.saturating_sub(self.interval_start.retired);
         let d_miss = llc_misses.saturating_sub(self.interval_start.llc_misses);
@@ -211,6 +216,18 @@ impl IssueQueue for Swque {
         let decision = self.controller.evaluate(metrics);
         self.stats.threshold_reductions +=
             self.controller.threshold_reductions() - reductions_before;
+        let switched = matches!(decision, ModeDecision::SwitchTo(_));
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::Interval {
+                cycle,
+                retired: retired_insts,
+                mpki: metrics.mpki,
+                flpi: metrics.flpi,
+                mode: interval_mode.trace().expect("SWQUE modes always trace"),
+                instability: self.controller.instability(),
+                switched,
+            });
+        }
         match decision {
             ModeDecision::Stay => false,
             ModeDecision::SwitchTo(target) => {
@@ -226,6 +243,10 @@ impl IssueQueue for Swque {
 
     fn swque_stats(&self) -> Option<SwqueStats> {
         Some(self.stats)
+    }
+
+    fn attach_trace(&mut self, trace: &TraceHandle) {
+        self.trace = trace.clone();
     }
 }
 
@@ -257,7 +278,7 @@ mod tests {
     #[test]
     fn no_switch_before_interval_boundary() {
         let mut q = Swque::new(&cfg(), false);
-        assert!(!q.poll_mode_switch(9_999, 500));
+        assert!(!q.poll_mode_switch(0, 9_999, 500));
         assert_eq!(q.swque_stats().unwrap().intervals, 0);
     }
 
@@ -265,9 +286,9 @@ mod tests {
     fn high_mpki_interval_switches_to_age_after_flush() {
         let mut q = Swque::new(&cfg(), false);
         // 10k instructions with 100 LLC misses -> MPKI 10 (> 1.0).
-        assert!(q.poll_mode_switch(10_000, 100), "switch requested");
+        assert!(q.poll_mode_switch(0, 10_000, 100), "switch requested");
         assert_eq!(q.mode(), IqMode::CircPc, "still old mode until the flush");
-        assert!(q.poll_mode_switch(10_001, 100), "keeps requesting until flushed");
+        assert!(q.poll_mode_switch(0, 10_001, 100), "keeps requesting until flushed");
         q.flush();
         assert_eq!(q.mode(), IqMode::Age);
         assert_eq!(q.swque_stats().unwrap().switches, 1);
@@ -276,11 +297,11 @@ mod tests {
     #[test]
     fn low_metrics_switch_back_to_circ_pc() {
         let mut q = Swque::new(&cfg(), false);
-        assert!(q.poll_mode_switch(10_000, 100));
+        assert!(q.poll_mode_switch(0, 10_000, 100));
         q.flush();
         assert_eq!(q.mode(), IqMode::Age);
         // Next interval: no new misses, no issues -> both metrics low.
-        assert!(q.poll_mode_switch(20_000, 100));
+        assert!(q.poll_mode_switch(0, 20_000, 100));
         q.flush();
         assert_eq!(q.mode(), IqMode::CircPc);
         assert_eq!(q.swque_stats().unwrap().switches, 2);
@@ -295,7 +316,7 @@ mod tests {
         assert_eq!(q.swque_stats().unwrap().cycles_circ_pc, 1);
 
         // Switch to AGE and verify the other structure operates.
-        q.poll_mode_switch(10_000, 100);
+        q.poll_mode_switch(0, 10_000, 100);
         q.flush();
         q.dispatch(ready(1)).unwrap();
         let g = q.select(&mut budget());
@@ -316,11 +337,11 @@ mod tests {
     fn interval_metrics_use_deltas_not_totals() {
         let mut q = Swque::new(&cfg(), false);
         // Interval 1: misses = 100 -> AGE.
-        q.poll_mode_switch(10_000, 100);
+        q.poll_mode_switch(0, 10_000, 100);
         q.flush();
         // Interval 2: total misses unchanged (delta 0) -> CIRC-PC again.
         // If totals were used instead of deltas this would stay in AGE.
-        assert!(q.poll_mode_switch(20_000, 100));
+        assert!(q.poll_mode_switch(0, 20_000, 100));
         q.flush();
         assert_eq!(q.mode(), IqMode::CircPc);
     }
@@ -330,7 +351,7 @@ mod tests {
         let mut q = Swque::new(&cfg(), false);
         q.dispatch(ready(0)).unwrap();
         q.select(&mut budget());
-        q.poll_mode_switch(10_000, 100);
+        q.poll_mode_switch(0, 10_000, 100);
         q.flush();
         q.dispatch(ready(1)).unwrap();
         q.select(&mut budget());

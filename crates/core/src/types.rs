@@ -122,6 +122,19 @@ pub enum IqMode {
     Age,
 }
 
+impl IqMode {
+    /// The trace-event encoding of this mode, or `None` for a
+    /// non-switching queue (traces only describe SWQUE's two
+    /// configurations).
+    pub fn trace(self) -> Option<swque_trace::Mode> {
+        match self {
+            IqMode::Fixed => None,
+            IqMode::CircPc => Some(swque_trace::Mode::CircPc),
+            IqMode::Age => Some(swque_trace::Mode::Age),
+        }
+    }
+}
+
 impl fmt::Display for IqMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -36,6 +36,7 @@ use swque_branch::{BranchKind, BranchOutcome, BranchPredictor};
 use swque_core::{DispatchReq, IqKind, IqMode, IssueBudget, IssueQueue};
 use swque_isa::{Emulator, Opcode, Program, Retired, ShadowEmulator};
 use swque_mem::{AccessKind, MemoryHierarchy};
+use swque_trace::{TraceEvent, TraceHandle};
 
 use crate::config::CoreConfig;
 use crate::fu::FuPool;
@@ -78,6 +79,12 @@ struct WrongPath {
 
 /// Cycles with no retirement before the simulator declares itself wedged.
 const DEADLOCK_LIMIT: u64 = 2_000_000;
+
+/// Shortest dispatch-stall run (consecutive IQ-blocked cycles) that emits a
+/// [`TraceEvent::DispatchStall`] episode. Shorter runs stay visible in the
+/// aggregate `iq_stall_cycles` counter; emitting each of them would flood a
+/// bounded trace ring with one-cycle episodes in capacity-bound phases.
+const STALL_EPISODE_MIN: u64 = 8;
 
 /// A point-in-time view of pipeline occupancy (see [`Core::snapshot`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +143,15 @@ pub struct Core {
     /// Loads whose address generation is done: `(ready_cycle, uid)`.
     pending_loads: Vec<(u64, u64)>,
 
+    /// Observability sink (disabled by default; see [`Core::attach_trace`]).
+    trace: TraceHandle,
+    /// Retired count at which the next [`TraceEvent::IntervalIpc`] fires.
+    next_ipc_mark: u64,
+    /// `(cycle, retired)` at the previous IPC interval boundary.
+    ipc_window_start: (u64, u64),
+    /// Cycle the current dispatch-stall run began (`None` = not stalled).
+    stall_run_start: Option<u64>,
+
     stats: CoreStats,
 }
 
@@ -143,6 +159,7 @@ impl Core {
     /// Creates a core running `program` with the issue queue `kind`.
     pub fn new(config: CoreConfig, kind: IqKind, program: &Program) -> Core {
         let iq = kind.build(&config.iq);
+        let interval = config.iq.swque.interval_insts.max(1);
         Core {
             emu: Emulator::new(program),
             mem: MemoryHierarchy::new(config.mem),
@@ -165,9 +182,25 @@ impl Core {
             last_fetch_line: None,
             events: BinaryHeap::new(),
             pending_loads: Vec::new(),
+            trace: TraceHandle::disabled(),
+            next_ipc_mark: interval,
+            ipc_window_start: (0, 0),
+            stall_run_start: None,
             stats: CoreStats::default(),
             config,
         }
+    }
+
+    /// Connects an observability sink: the core emits [`TraceEvent`]s into
+    /// it ([`TraceEvent::IntervalIpc`], [`TraceEvent::ModeSwitch`],
+    /// [`TraceEvent::DispatchStall`]) and propagates the handle to the
+    /// issue queue (controller interval samples) and the memory hierarchy
+    /// (epoch samples). With the default disabled handle every emission
+    /// site is a single predictable branch.
+    pub fn attach_trace(&mut self, trace: &TraceHandle) {
+        self.trace = trace.clone();
+        self.iq.attach_trace(trace);
+        self.mem.set_trace(trace);
     }
 
     /// Current cycle.
@@ -253,6 +286,9 @@ impl Core {
     /// Advances one cycle.
     pub fn step_cycle(&mut self) {
         self.commit();
+        if self.trace.enabled() {
+            self.trace_interval_ipc();
+        }
         self.writeback();
         self.execute();
         self.issue();
@@ -478,6 +514,9 @@ impl Core {
         if iq_blocked {
             self.stats.iq_stall_cycles += 1;
         }
+        if self.trace.enabled() {
+            self.trace_dispatch_stall(iq_blocked);
+        }
     }
 
     // ---- fetch ----
@@ -654,10 +693,58 @@ impl Core {
     // ---- SWQUE mode switching ----
 
     fn poll_mode_switch(&mut self) {
-        if self.iq.poll_mode_switch(self.retired, self.mem.llc_demand_misses()) {
+        let before = self.iq.mode();
+        if self.iq.poll_mode_switch(self.cycle, self.retired, self.mem.llc_demand_misses()) {
             self.full_flush();
             self.fetch_stalled_until = self.cycle + self.config.iq.swque.switch_penalty;
             self.stats.mode_switch_flushes += 1;
+            if self.trace.enabled() {
+                if let (Some(from), Some(to)) = (before.trace(), self.iq.mode().trace()) {
+                    self.trace.record(TraceEvent::ModeSwitch {
+                        cycle: self.cycle,
+                        retired: self.retired,
+                        from,
+                        to,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Emits an [`TraceEvent::IntervalIpc`] sample each time `retired`
+    /// crosses an interval boundary (the controller's `interval_insts`, so
+    /// the IPC series lines up with the controller's interval series).
+    fn trace_interval_ipc(&mut self) {
+        if self.retired < self.next_ipc_mark {
+            return;
+        }
+        let (start_cycle, start_retired) = self.ipc_window_start;
+        let cycles = self.cycle.saturating_sub(start_cycle).max(1);
+        let insts = self.retired.saturating_sub(start_retired);
+        self.trace.record(TraceEvent::IntervalIpc {
+            cycle: self.cycle,
+            retired: self.retired,
+            ipc: insts as f64 / cycles as f64,
+        });
+        self.ipc_window_start = (self.cycle, self.retired);
+        let interval = self.config.iq.swque.interval_insts.max(1);
+        self.next_ipc_mark = self.retired + interval;
+    }
+
+    /// Tracks runs of IQ-blocked dispatch cycles, emitting a
+    /// [`TraceEvent::DispatchStall`] episode when a run of at least
+    /// [`STALL_EPISODE_MIN`] cycles ends.
+    fn trace_dispatch_stall(&mut self, blocked: bool) {
+        match (blocked, self.stall_run_start) {
+            (true, None) => self.stall_run_start = Some(self.cycle),
+            (false, Some(start)) => {
+                let run = self.cycle.saturating_sub(start);
+                if run >= STALL_EPISODE_MIN {
+                    self.trace.record(TraceEvent::DispatchStall { cycle: start, cycles: run });
+                }
+                self.stall_run_start = None;
+            }
+            _ => {}
         }
     }
 

@@ -54,17 +54,24 @@ impl CoreStats {
     /// exclude warmup).
     pub fn delta(&self, earlier: &CoreStats) -> CoreStats {
         CoreStats {
-            dispatched: self.dispatched - earlier.dispatched,
-            loads_accessed: self.loads_accessed - earlier.loads_accessed,
-            loads_forwarded: self.loads_forwarded - earlier.loads_forwarded,
-            mispredict_stall_cycles: self.mispredict_stall_cycles
-                - earlier.mispredict_stall_cycles,
-            mode_switch_flushes: self.mode_switch_flushes - earlier.mode_switch_flushes,
-            replayed: self.replayed - earlier.replayed,
-            iq_stall_cycles: self.iq_stall_cycles - earlier.iq_stall_cycles,
-            icache_stall_cycles: self.icache_stall_cycles - earlier.icache_stall_cycles,
-            wrong_path_fetched: self.wrong_path_fetched - earlier.wrong_path_fetched,
-            wrong_path_squashed: self.wrong_path_squashed - earlier.wrong_path_squashed,
+            dispatched: self.dispatched.saturating_sub(earlier.dispatched),
+            loads_accessed: self.loads_accessed.saturating_sub(earlier.loads_accessed),
+            loads_forwarded: self.loads_forwarded.saturating_sub(earlier.loads_forwarded),
+            mispredict_stall_cycles: self
+                .mispredict_stall_cycles
+                .saturating_sub(earlier.mispredict_stall_cycles),
+            mode_switch_flushes: self
+                .mode_switch_flushes
+                .saturating_sub(earlier.mode_switch_flushes),
+            replayed: self.replayed.saturating_sub(earlier.replayed),
+            iq_stall_cycles: self.iq_stall_cycles.saturating_sub(earlier.iq_stall_cycles),
+            icache_stall_cycles: self
+                .icache_stall_cycles
+                .saturating_sub(earlier.icache_stall_cycles),
+            wrong_path_fetched: self.wrong_path_fetched.saturating_sub(earlier.wrong_path_fetched),
+            wrong_path_squashed: self
+                .wrong_path_squashed
+                .saturating_sub(earlier.wrong_path_squashed),
         }
     }
 }
@@ -76,8 +83,8 @@ impl SimResult {
     /// instruction skip excludes it.
     pub fn delta(&self, earlier: &SimResult) -> SimResult {
         SimResult {
-            cycles: self.cycles - earlier.cycles,
-            retired: self.retired - earlier.retired,
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            retired: self.retired.saturating_sub(earlier.retired),
             iq: self.iq.delta(&earlier.iq),
             swque: match (&self.swque, &earlier.swque) {
                 (Some(now), Some(then)) => Some(now.delta(then)),

@@ -3,6 +3,8 @@
 
 use std::collections::HashMap;
 
+use swque_trace::{TraceEvent, TraceHandle};
+
 use crate::cache::Cache;
 use crate::config::MemConfig;
 use crate::dram::Dram;
@@ -49,8 +51,20 @@ pub struct MemoryHierarchy {
     mshr: HashMap<u64, u64>,
     /// In-flight L2 fills (demand or prefetch): L2-line → completion cycle.
     inflight_l2: HashMap<u64, u64>,
+    /// Observability sink (disabled by default; see
+    /// [`MemoryHierarchy::set_trace`]).
+    trace: TraceHandle,
+    /// Epoch index of the last [`TraceEvent::MemEpoch`] sample.
+    trace_epoch: u64,
+    /// `(llc_demand_misses, dram_transfers)` at the last epoch boundary.
+    trace_epoch_base: (u64, u64),
     stats: MemStats,
 }
+
+/// Cycles per [`TraceEvent::MemEpoch`] sample. Coarse on purpose: a sample
+/// per miss would flood a bounded trace ring and evict the controller's
+/// interval series, which is the series the experiments care about.
+const MEM_EPOCH_CYCLES: u64 = 8192;
 
 impl MemoryHierarchy {
     /// Creates the hierarchy from `config`.
@@ -67,9 +81,39 @@ impl MemoryHierarchy {
             prefetcher: config.prefetch.map(StreamPrefetcher::new),
             mshr: HashMap::new(),
             inflight_l2: HashMap::new(),
+            trace: TraceHandle::disabled(),
+            trace_epoch: 0,
+            trace_epoch_base: (0, 0),
             stats: MemStats::default(),
             config,
         }
+    }
+
+    /// Connects an observability sink: the hierarchy emits one
+    /// [`TraceEvent::MemEpoch`] per fixed-length (8192-cycle) epoch with
+    /// the LLC-miss and DRAM-transfer deltas since the previous sample.
+    pub fn set_trace(&mut self, trace: &TraceHandle) {
+        self.trace = trace.clone();
+    }
+
+    /// Samples miss/transfer activity when `now` has crossed into a new
+    /// epoch. Called from the demand-miss path, so epochs with no misses
+    /// fold into the next sample rather than emitting empty events.
+    fn sample_epoch(&mut self, now: u64) {
+        let epoch = now / MEM_EPOCH_CYCLES;
+        if epoch <= self.trace_epoch {
+            return;
+        }
+        let (miss_base, xfer_base) = self.trace_epoch_base;
+        let misses = self.stats.llc_demand_misses;
+        let transfers = self.dram.transfers();
+        self.trace.record(TraceEvent::MemEpoch {
+            cycle: epoch * MEM_EPOCH_CYCLES,
+            llc_misses: misses.saturating_sub(miss_base),
+            dram_transfers: transfers.saturating_sub(xfer_base),
+        });
+        self.trace_epoch = epoch;
+        self.trace_epoch_base = (misses, transfers);
     }
 
     /// The configuration the hierarchy was built with.
@@ -194,6 +238,9 @@ impl MemoryHierarchy {
         l1.fill(addr, false);
         if is_data {
             self.mshr.insert(l1_line, done_at);
+        }
+        if !l2_hit && self.trace.enabled() {
+            self.sample_epoch(now);
         }
 
         AccessResult { done_at, l1_hit: false, l2_hit }

@@ -18,10 +18,10 @@ impl CacheStats {
     /// exclude warmup).
     pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
-            accesses: self.accesses - earlier.accesses,
-            misses: self.misses - earlier.misses,
-            prefetch_fills: self.prefetch_fills - earlier.prefetch_fills,
-            useful_prefetches: self.useful_prefetches - earlier.useful_prefetches,
+            accesses: self.accesses.saturating_sub(earlier.accesses),
+            misses: self.misses.saturating_sub(earlier.misses),
+            prefetch_fills: self.prefetch_fills.saturating_sub(earlier.prefetch_fills),
+            useful_prefetches: self.useful_prefetches.saturating_sub(earlier.useful_prefetches),
         }
     }
 
@@ -63,10 +63,10 @@ impl MemStats {
             l1i: self.l1i.delta(&earlier.l1i),
             l1d: self.l1d.delta(&earlier.l1d),
             l2: self.l2.delta(&earlier.l2),
-            llc_demand_misses: self.llc_demand_misses - earlier.llc_demand_misses,
-            dram_transfers: self.dram_transfers - earlier.dram_transfers,
-            mshr_merges: self.mshr_merges - earlier.mshr_merges,
-            mshr_stall_cycles: self.mshr_stall_cycles - earlier.mshr_stall_cycles,
+            llc_demand_misses: self.llc_demand_misses.saturating_sub(earlier.llc_demand_misses),
+            dram_transfers: self.dram_transfers.saturating_sub(earlier.dram_transfers),
+            mshr_merges: self.mshr_merges.saturating_sub(earlier.mshr_merges),
+            mshr_stall_cycles: self.mshr_stall_cycles.saturating_sub(earlier.mshr_stall_cycles),
         }
     }
 

@@ -51,6 +51,8 @@
 //! );
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod prop;
 pub mod timer;
 

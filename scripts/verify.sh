@@ -20,6 +20,16 @@ cargo test -q --offline
 echo "== extended: cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+echo "== docs: cargo doc --no-deps --offline (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+echo "== json: schema smoke (fig09 -> check_json, reduced budget)"
+json_tmp="$(mktemp -d)"
+trap 'rm -rf "$json_tmp"' EXIT
+SWQUE_WARMUP=5000 SWQUE_INSTS=20000 SWQUE_JSON="$json_tmp/fig09.json" \
+    ./target/release/fig09 > /dev/null
+./target/release/check_json "$json_tmp/fig09.json"
+
 echo "== hermeticity: no external dependency entries in any manifest"
 if grep -rn --include=Cargo.toml -E '^\s*(rand|proptest|criterion)\b' . ; then
     echo "error: external dependency reference found above" >&2

@@ -19,6 +19,28 @@
 //! * [`rng`] — the in-tree deterministic randomness substrate (pinned
 //!   xoshiro256\*\* PRNG, property-test harness, bench timer) that keeps
 //!   the workspace dependency-free and every workload trace reproducible.
+//! * [`trace`] — the observability layer: typed trace events (controller
+//!   intervals, mode switches, per-interval IPC), a bounded ring-buffer
+//!   recorder that is free when disabled, stream summaries, and the
+//!   in-tree JSON reader/writer behind `SWQUE_JSON` structured output.
+//!
+//! To observe a run at interval granularity, attach a trace before
+//! stepping the core:
+//!
+//! ```
+//! use swque::cpu::{Core, CoreConfig};
+//! use swque::iq::IqKind;
+//! use swque::trace::{TraceHandle, TraceSummary};
+//! use swque::workloads::suite;
+//!
+//! let program = suite::by_name("mcf_like").expect("known kernel").build();
+//! let mut core = Core::new(CoreConfig::medium(), IqKind::Swque, &program);
+//! let trace = TraceHandle::ring(4096);
+//! core.attach_trace(&trace);
+//! core.run(50_000);
+//! let summary = TraceSummary::from_events(&trace.events(), trace.dropped());
+//! assert_eq!(summary.mode_strip().len(), summary.intervals.len());
+//! ```
 //!
 //! # Quickstart
 //!
@@ -41,4 +63,5 @@ pub use swque_cpu as cpu;
 pub use swque_isa as isa;
 pub use swque_mem as mem;
 pub use swque_rng as rng;
+pub use swque_trace as trace;
 pub use swque_workloads as workloads;

@@ -2,71 +2,108 @@
 //! named on the command line with the in-tree JSON parser and checks the
 //! `swque-bench-v1` shape (and the nested `swque-trace-v1` shape of any
 //! embedded trace digests). Used by `scripts/verify.sh` as the JSON smoke
-//! step; exits non-zero with a description on the first violation.
+//! step.
+//!
+//! Diagnostics name the offending JSON path (`tables[2].rows[5]`,
+//! `traces[0].trace.events`, …) so a broken writer can be located without
+//! diffing documents by eye. All files are checked even after a failure;
+//! the exit code is non-zero if *any* file was unreadable, unparseable, or
+//! schema-violating.
 
 use std::process::ExitCode;
 
 use swque_bench::BENCH_SCHEMA;
 use swque_trace::Json;
 
+/// Validates one parsed report. `Err` carries a diagnostic of the form
+/// `<json path>: <what is wrong>`.
 fn check_report(doc: &Json) -> Result<String, String> {
     let keys = doc.keys();
     let expect = ["schema", "experiment", "params", "tables", "rows", "traces"];
     if keys != expect {
-        return Err(format!("top-level keys {keys:?}, expected {expect:?}"));
+        return Err(format!("$: top-level keys {keys:?}, expected {expect:?}"));
     }
     let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
     if schema != BENCH_SCHEMA {
-        return Err(format!("schema {schema:?}, expected {BENCH_SCHEMA:?}"));
+        return Err(format!("schema: {schema:?}, expected {BENCH_SCHEMA:?}"));
     }
     let experiment = doc
         .get("experiment")
         .and_then(Json::as_str)
-        .ok_or("experiment is not a string")?;
-    let params = doc.get("params").ok_or("missing params")?;
+        .ok_or("experiment: not a string")?;
+    let params = doc.get("params").ok_or("params: missing")?;
     for key in ["warmup_insts", "max_insts"] {
         params
             .get(key)
             .and_then(Json::as_u64)
-            .ok_or_else(|| format!("params.{key} is not an integer"))?;
+            .ok_or_else(|| format!("params.{key}: not an integer"))?;
     }
-    let tables = doc.get("tables").and_then(Json::as_arr).ok_or("tables is not an array")?;
-    for t in tables {
+    let tables = doc.get("tables").and_then(Json::as_arr).ok_or("tables: not an array")?;
+    for (ti, t) in tables.iter().enumerate() {
         if t.keys() != ["name", "header", "rows"] {
-            return Err(format!("table keys {:?}", t.keys()));
+            return Err(format!("tables[{ti}]: keys {:?}, expected name/header/rows", t.keys()));
         }
-        let width = t.get("header").and_then(Json::as_arr).ok_or("table header")?.len();
-        for row in t.get("rows").and_then(Json::as_arr).ok_or("table rows")? {
-            let cells = row.as_arr().ok_or("table row is not an array")?;
+        let width = t
+            .get("header")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("tables[{ti}].header: not an array"))?
+            .len();
+        let rows = t
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("tables[{ti}].rows: not an array"))?;
+        for (ri, row) in rows.iter().enumerate() {
+            let cells = row
+                .as_arr()
+                .ok_or_else(|| format!("tables[{ti}].rows[{ri}]: not an array"))?;
             if cells.len() != width {
-                return Err(format!("row width {} vs header {width}", cells.len()));
+                return Err(format!(
+                    "tables[{ti}].rows[{ri}]: width {} vs header width {width}",
+                    cells.len()
+                ));
             }
         }
     }
-    doc.get("rows").and_then(Json::as_arr).ok_or("rows is not an array")?;
-    let traces = doc.get("traces").and_then(Json::as_arr).ok_or("traces is not an array")?;
-    for entry in traces {
-        entry.get("program").and_then(Json::as_str).ok_or("trace entry without program")?;
-        let t = entry.get("trace").ok_or("trace entry without trace")?;
+    doc.get("rows").and_then(Json::as_arr).ok_or("rows: not an array")?;
+    let traces = doc.get("traces").and_then(Json::as_arr).ok_or("traces: not an array")?;
+    for (ei, entry) in traces.iter().enumerate() {
+        entry
+            .get("program")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("traces[{ei}].program: missing or not a string"))?;
+        let t = entry.get("trace").ok_or_else(|| format!("traces[{ei}].trace: missing"))?;
+        let path = format!("traces[{ei}].trace");
         let ts = t.get("schema").and_then(Json::as_str).unwrap_or("");
         if ts != "swque-trace-v1" {
-            return Err(format!("trace schema {ts:?}"));
+            return Err(format!("{path}.schema: {ts:?}, expected \"swque-trace-v1\""));
         }
         for key in ["events", "dropped", "switches", "circ_pc_intervals", "age_intervals"] {
             t.get(key)
                 .and_then(Json::as_u64)
-                .ok_or_else(|| format!("trace.{key} is not an integer"))?;
+                .ok_or_else(|| format!("{path}.{key}: not an integer"))?;
         }
-        t.get("circ_pc_fraction").and_then(Json::as_f64).ok_or("trace.circ_pc_fraction")?;
-        t.get("mode_strip").and_then(Json::as_str).ok_or("trace.mode_strip")?;
-        let intervals = t.get("intervals").and_then(Json::as_arr).ok_or("trace.intervals")?;
-        for iv in intervals {
+        t.get("circ_pc_fraction")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}.circ_pc_fraction: not a number"))?;
+        t.get("mode_strip")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}.mode_strip: not a string"))?;
+        let intervals = t
+            .get("intervals")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{path}.intervals: not an array"))?;
+        for (ii, iv) in intervals.iter().enumerate() {
             let want = ["cycle", "retired", "mpki", "flpi", "mode", "instability", "switched"];
             if iv.keys() != want {
-                return Err(format!("interval keys {:?}", iv.keys()));
+                return Err(format!(
+                    "{path}.intervals[{ii}]: keys {:?}, expected {want:?}",
+                    iv.keys()
+                ));
             }
         }
-        t.get("ipc").and_then(Json::as_arr).ok_or("trace.ipc")?;
+        t.get("ipc")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{path}.ipc: not an array"))?;
     }
     Ok(format!(
         "{experiment}: {} table(s), {} row(s), {} trace(s)",
@@ -82,28 +119,125 @@ fn main() -> ExitCode {
         eprintln!("usage: check_json <report.json>...");
         return ExitCode::FAILURE;
     }
+    let mut failures = 0usize;
     for path in &paths {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("{path}: {e}");
-                return ExitCode::FAILURE;
+                failures += 1;
+                continue;
             }
         };
-        let doc = match Json::parse(&text) {
-            Ok(d) => d,
+        match Json::parse(&text) {
+            Ok(doc) => match check_report(&doc) {
+                Ok(desc) => println!("{path}: ok ({desc})"),
+                Err(e) => {
+                    eprintln!("{path}: schema violation at {e}");
+                    failures += 1;
+                }
+            },
             Err(e) => {
                 eprintln!("{path}: parse error: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        match check_report(&doc) {
-            Ok(desc) => println!("{path}: ok ({desc})"),
-            Err(e) => {
-                eprintln!("{path}: schema violation: {e}");
-                return ExitCode::FAILURE;
+                failures += 1;
             }
         }
     }
+    if failures > 0 {
+        eprintln!("check_json: {failures} of {} file(s) failed", paths.len());
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swque_bench::{Report, Table};
+
+    /// A schema-valid report via the real writer.
+    fn valid_doc() -> Json {
+        let mut report = Report::new("unit");
+        let mut table = Table::new(["a", "b"]);
+        table.row(["1".to_string(), "2".to_string()]);
+        report.add_table("t", &table);
+        report.push_row(Json::obj([("x", Json::from(1u64))]));
+        Json::parse(&report.to_json().to_string()).expect("writer output parses")
+    }
+
+    /// Replaces the member at `key` (top level) with `value`.
+    fn with(doc: &Json, key: &str, value: Json) -> Json {
+        let Json::Obj(pairs) = doc else { panic!("not an object") };
+        Json::Obj(
+            pairs
+                .iter()
+                .map(|(k, v)| {
+                    (k.clone(), if k == key { value.clone() } else { v.clone() })
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn accepts_writer_output() {
+        let desc = check_report(&valid_doc()).expect("valid report");
+        assert!(desc.contains("unit"), "description names the experiment: {desc}");
+    }
+
+    #[test]
+    fn names_the_offending_table_row() {
+        let doc = valid_doc();
+        // Break the width of the only data row of the only table.
+        let tables = Json::Arr(vec![Json::obj([
+            ("name", Json::from("t")),
+            ("header", Json::Arr(vec![Json::from("a"), Json::from("b")])),
+            (
+                "rows",
+                Json::Arr(vec![
+                    Json::Arr(vec![Json::from("1"), Json::from("2")]),
+                    Json::Arr(vec![Json::from("only-one-cell")]),
+                ]),
+            ),
+        ])]);
+        let err = check_report(&with(&doc, "tables", tables)).unwrap_err();
+        assert!(err.starts_with("tables[0].rows[1]:"), "path not named: {err}");
+    }
+
+    #[test]
+    fn names_the_offending_param() {
+        let doc = valid_doc();
+        let params = Json::obj([
+            ("warmup_insts", Json::from(1u64)),
+            ("max_insts", Json::from("not-a-number")),
+        ]);
+        let err = check_report(&with(&doc, "params", params)).unwrap_err();
+        assert!(err.starts_with("params.max_insts:"), "path not named: {err}");
+    }
+
+    #[test]
+    fn names_the_offending_trace_field() {
+        let doc = valid_doc();
+        let trace = Json::obj([(
+            "program",
+            Json::from("k"),
+        ), (
+            "trace",
+            Json::obj([
+                ("schema", Json::from("swque-trace-v1")),
+                ("events", Json::from("many")), // not an integer
+            ]),
+        )]);
+        let err =
+            check_report(&with(&doc, "traces", Json::Arr(vec![trace]))).unwrap_err();
+        assert!(err.starts_with("traces[0].trace.events:"), "path not named: {err}");
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_missing_keys() {
+        let doc = valid_doc();
+        let err = check_report(&with(&doc, "schema", Json::from("bogus-v0"))).unwrap_err();
+        assert!(err.starts_with("schema:"), "{err}");
+        let err = check_report(&Json::obj([("schema", Json::from(BENCH_SCHEMA))])).unwrap_err();
+        assert!(err.starts_with("$:"), "{err}");
+    }
 }

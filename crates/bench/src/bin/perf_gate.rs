@@ -1,0 +1,137 @@
+//! `perf_gate`: host-side throughput gate for the scheduling hot paths.
+//!
+//! Every other binary in this crate measures *simulated* behaviour (IPC,
+//! mode residency, energy). This one measures the **simulator itself**: how
+//! many simulated kilocycles per host second each issue-queue organization
+//! sustains on a pinned workload. The numbers form the perf trajectory of
+//! the repository — each PR that touches a hot path reruns the gate and
+//! records the new `BENCH_TIER1.json`, so a scheduling-path regression
+//! shows up as a dropped `sim_kcycles_per_sec` row rather than as a vague
+//! "experiments feel slower".
+//!
+//! # Pinned workload
+//!
+//! The measurement is deliberately *not* configurable through the usual
+//! `SWQUE_INSTS`/`SWQUE_WARMUP` knobs: trajectory points are only
+//! comparable if every run simulates the same instruction stream. The gate
+//! runs `deepsjeng_like` (moderate-ILP INT, the paper's headline class) on
+//! the medium model for every [`IqKind`], plus one large-model AGE row —
+//! the age-matrix-heavy configuration whose select/wakeup work scales
+//! worst with queue capacity.
+//!
+//! # Modes
+//!
+//! * default — full budget (200k measured instructions, best of 3 reps);
+//!   wall-clock a few seconds per organization.
+//! * `--smoke` (or `SWQUE_PERF_SMOKE=1`) — reduced budget (20k
+//!   instructions, 1 rep) for CI: validates that the gate runs and emits
+//!   schema-valid JSON, not the absolute numbers.
+//!
+//! # Output
+//!
+//! Writes a `swque-bench-v1` report to `SWQUE_JSON` if set, else to
+//! `BENCH_TIER1.json` in the current directory. Typed rows carry
+//! `{kind, model, kernel, warmup_insts, max_insts, cycles, retired,
+//! host_seconds, sim_kcycles_per_sec}`.
+
+use std::time::Instant;
+
+use swque_bench::{json_path, ProcessorModel, Report, Table};
+use swque_core::IqKind;
+use swque_cpu::{Core, SimResult};
+use swque_trace::Json;
+use swque_workloads::suite;
+
+/// The pinned kernel every gate row simulates.
+const GATE_KERNEL: &str = "deepsjeng_like";
+
+struct GateBudget {
+    warmup: u64,
+    insts: u64,
+    reps: usize,
+}
+
+fn smoke_requested() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+        || std::env::var("SWQUE_PERF_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Runs `kind` on the pinned kernel and returns the measured-window result
+/// plus the best (minimum) host time across `reps` repetitions. Timing
+/// covers the whole simulation including warmup — the gate tracks the cost
+/// of simulating, not the paper's measurement-window convention — but the
+/// reported `cycles`/`retired` are whole-run totals so the ratio is exact.
+fn measure(kind: IqKind, model: ProcessorModel, budget: &GateBudget) -> (SimResult, f64) {
+    let kernel = suite::by_name(GATE_KERNEL).expect("pinned gate kernel exists");
+    let program = kernel.build();
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..budget.reps {
+        let mut core = Core::new(model.config(), kind, &program);
+        let start = Instant::now();
+        let r = core.run(budget.warmup + budget.insts);
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(secs);
+        result = Some(r);
+    }
+    (result.expect("reps >= 1"), best)
+}
+
+fn main() {
+    let smoke = smoke_requested();
+    let budget = if smoke {
+        GateBudget { warmup: 5_000, insts: 20_000, reps: 1 }
+    } else {
+        GateBudget { warmup: 30_000, insts: 200_000, reps: 3 }
+    };
+
+    // Every organization on the medium model, then the age-matrix-heavy
+    // large-model AGE row (256 entries, 8-wide: the biggest matrices).
+    let mut configs: Vec<(IqKind, ProcessorModel)> =
+        IqKind::ALL.iter().map(|&k| (k, ProcessorModel::Medium)).collect();
+    configs.push((IqKind::Age, ProcessorModel::Large));
+
+    let mut report = Report::new("perf_gate");
+    report
+        .param("kernel", GATE_KERNEL)
+        .param("smoke", smoke)
+        .param("gate_warmup_insts", budget.warmup)
+        .param("gate_max_insts", budget.insts)
+        .param("reps", budget.reps as u64);
+
+    let mut table =
+        Table::new(["kind", "model", "sim cycles", "host ms", "sim kcycles/s"]);
+    for (kind, model) in configs {
+        let (r, secs) = measure(kind, model, &budget);
+        let kcps = r.cycles as f64 / secs / 1000.0;
+        table.row([
+            kind.label().to_string(),
+            model.label().to_string(),
+            r.cycles.to_string(),
+            format!("{:.1}", secs * 1000.0),
+            format!("{kcps:.0}"),
+        ]);
+        report.push_row(Json::obj([
+            ("kind", Json::from(kind.label())),
+            ("model", Json::from(model.label())),
+            ("kernel", Json::from(GATE_KERNEL)),
+            ("warmup_insts", Json::from(budget.warmup)),
+            ("max_insts", Json::from(budget.insts)),
+            ("cycles", Json::from(r.cycles)),
+            ("retired", Json::from(r.retired)),
+            ("host_seconds", Json::from(secs)),
+            ("sim_kcycles_per_sec", Json::from(kcps)),
+        ]));
+    }
+    report.add_table("perf_gate", &table);
+    println!("{table}");
+
+    // Unlike the figure binaries, the gate always writes its report: a
+    // trajectory point that only exists when an env var was remembered is
+    // not a trajectory. SWQUE_JSON still overrides the destination.
+    let path = json_path().unwrap_or_else(|| "BENCH_TIER1.json".into());
+    let doc = format!("{}\n", report.to_json());
+    std::fs::write(&path, doc)
+        .unwrap_or_else(|e| panic!("perf_gate: cannot write {}: {e}", path.display()));
+    eprintln!("[perf_gate] wrote {}", path.display());
+}

@@ -141,9 +141,12 @@ pub struct SuiteRow {
 }
 
 /// Runs every suite kernel under each spec (kernels in parallel across
-/// threads), returning rows in suite order.
+/// threads), returning rows in suite order. Worker count follows
+/// [`default_workers`], so `SWQUE_THREADS=1` forces a serial sweep.
 pub fn run_suite(specs: &[RunSpec]) -> Vec<SuiteRow> {
-    sweep(specs, false)
+    let kernels = suite::all();
+    let workers = default_workers(kernels.len());
+    sweep(&kernels, specs, false, workers)
 }
 
 /// [`run_suite`] with a trace ring attached to every run (see
@@ -151,14 +154,48 @@ pub fn run_suite(specs: &[RunSpec]) -> Vec<SuiteRow> {
 /// per spec. Trace handles live entirely inside the worker thread that
 /// owns the run — only the plain-data summaries cross threads.
 pub fn run_suite_traced(specs: &[RunSpec]) -> Vec<SuiteRow> {
-    sweep(specs, true)
+    let kernels = suite::all();
+    let workers = default_workers(kernels.len());
+    sweep(&kernels, specs, true, workers)
 }
 
-fn sweep(specs: &[RunSpec], traced: bool) -> Vec<SuiteRow> {
-    let kernels = suite::all();
+/// [`run_suite`] over an explicit kernel list with an explicit worker
+/// count. Row order always matches `kernels` regardless of worker count
+/// or scheduling, and every run is single-threaded and deterministic, so
+/// the result is identical for any `workers` value — a property pinned by
+/// the `determinism` integration test. Empty kernel lists yield an empty
+/// result; `workers` is clamped to `1..=kernels.len()`.
+pub fn run_suite_on(kernels: &[Kernel], specs: &[RunSpec], workers: usize) -> Vec<SuiteRow> {
+    sweep(kernels, specs, false, workers)
+}
+
+/// [`run_suite_on`] with trace rings attached (see [`run_suite_traced`]).
+pub fn run_suite_traced_on(
+    kernels: &[Kernel],
+    specs: &[RunSpec],
+    workers: usize,
+) -> Vec<SuiteRow> {
+    sweep(kernels, specs, true, workers)
+}
+
+/// Worker-thread count for a sweep over `kernels` kernels: the
+/// `SWQUE_THREADS` environment variable when set to a positive integer
+/// (invalid or zero values are ignored), otherwise the host's available
+/// parallelism; always clamped to the number of kernels.
+pub fn default_workers(kernels: usize) -> usize {
+    let requested = std::env::var("SWQUE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1);
+    let n = requested
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+    n.min(kernels.max(1))
+}
+
+fn sweep(kernels: &[Kernel], specs: &[RunSpec], traced: bool, workers: usize) -> Vec<SuiteRow> {
     let rows: Mutex<Vec<Option<SuiteRow>>> = Mutex::new(vec![None; kernels.len()]);
     let next: Mutex<usize> = Mutex::new(0);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(kernels.len());
+    let workers = workers.clamp(1, kernels.len().max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {

@@ -1,0 +1,100 @@
+//! Parallel-sweep determinism: `run_suite`'s worker pool must be a pure
+//! throughput optimization. Every simulation is single-threaded and
+//! seeded, and rows are written back by kernel index, so the sweep result
+//! must be identical — not just statistically close — for any worker
+//! count, any scheduling interleave, and the `SWQUE_THREADS` override.
+//!
+//! `SimResult`/`TraceSummary` are plain data without `PartialEq`; the
+//! comparison goes through their `Debug` rendering, which covers every
+//! field and makes a mismatch diff readable.
+
+use swque_bench::{
+    default_workers, run_suite, run_suite_on, run_suite_traced_on, ProcessorModel, RunSpec,
+    SuiteRow,
+};
+use swque_core::IqKind;
+use swque_workloads::suite;
+
+/// A cheap spec set: two organizations, tiny scaled programs.
+fn specs() -> Vec<RunSpec> {
+    [IqKind::Circ, IqKind::Age]
+        .into_iter()
+        .map(|iq| RunSpec {
+            model: ProcessorModel::Medium,
+            iq,
+            warmup_insts: 2_000,
+            max_insts: 8_000,
+            scale: Some(1_500),
+        })
+        .collect()
+}
+
+fn fingerprint(rows: &[SuiteRow]) -> String {
+    rows.iter()
+        .map(|row| {
+            format!("{}: {:?} {:?}\n", row.kernel.name, row.results, row.traces)
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_sweep_matches_single_worker() {
+    let kernels = suite::all();
+    let kernels = &kernels[..kernels.len().min(3)];
+    let specs = specs();
+    let serial = fingerprint(&run_suite_on(kernels, &specs, 1));
+    for workers in [2, 4, 16] {
+        let parallel = fingerprint(&run_suite_on(kernels, &specs, workers));
+        assert_eq!(serial, parallel, "rows differ with {workers} workers");
+    }
+}
+
+#[test]
+fn traced_parallel_sweep_matches_single_worker() {
+    let kernels = suite::all();
+    let kernels = &kernels[..kernels.len().min(2)];
+    let specs = specs();
+    let serial = fingerprint(&run_suite_traced_on(kernels, &specs, 1));
+    let parallel = fingerprint(&run_suite_traced_on(kernels, &specs, 8));
+    assert_eq!(serial, parallel, "traced rows differ across worker counts");
+}
+
+#[test]
+fn empty_and_single_kernel_lists() {
+    let specs = specs();
+    assert!(run_suite_on(&[], &specs, 4).is_empty(), "no kernels, no rows");
+    let kernels = suite::all();
+    let rows = run_suite_on(&kernels[..1], &specs, 4);
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].kernel.name, kernels[0].name);
+    assert_eq!(rows[0].results.len(), specs.len(), "one result per spec");
+    // A sweep with zero requested workers still runs (clamped to 1).
+    let rows0 = run_suite_on(&kernels[..1], &specs, 0);
+    assert_eq!(fingerprint(&rows0), fingerprint(&rows));
+}
+
+/// `SWQUE_THREADS` steers the default worker count and, being a pure
+/// throughput knob, must not change results. Environment mutation makes
+/// this test order-sensitive, so everything env-related lives in this one
+/// test function.
+#[test]
+fn swque_threads_env_override() {
+    // Respected when positive, clamped to the kernel count.
+    std::env::set_var("SWQUE_THREADS", "3");
+    assert_eq!(default_workers(8), 3);
+    assert_eq!(default_workers(2), 2, "clamped to kernel count");
+    // Ignored when invalid or zero.
+    std::env::set_var("SWQUE_THREADS", "0");
+    assert!(default_workers(64) >= 1);
+    std::env::set_var("SWQUE_THREADS", "lots");
+    assert!(default_workers(64) >= 1);
+
+    // A full run_suite under a forced single worker matches the explicit
+    // single-worker sweep over the same kernels.
+    std::env::set_var("SWQUE_THREADS", "1");
+    let specs = specs();
+    let via_env = fingerprint(&run_suite(&specs));
+    std::env::remove_var("SWQUE_THREADS");
+    let explicit = fingerprint(&run_suite_on(&suite::all(), &specs, 1));
+    assert_eq!(via_env, explicit);
+}

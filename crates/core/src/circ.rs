@@ -88,6 +88,46 @@ impl CircQueue {
         }
     }
 
+    /// Grants ready entries at positions in `lo..hi` in ascending order
+    /// until the budget runs out — the position-priority select scan as a
+    /// word walk over the packed ready plane. Each word is copied to a
+    /// register before its bits are visited, so granting (which clears the
+    /// granted entry's ready bit) cannot disturb the scan.
+    fn grant_ready_in(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        budget: &mut IssueBudget,
+        grants: &mut Vec<Grant>,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let first_w = lo / 64;
+        let last_w = (hi - 1) / 64;
+        for wi in first_w..=last_w {
+            let mut word = self.slots.ready_words()[wi];
+            if wi == first_w {
+                word &= u64::MAX << (lo % 64);
+            }
+            if wi == last_w && hi % 64 != 0 {
+                word &= u64::MAX >> (64 - hi % 64);
+            }
+            while word != 0 {
+                if budget.exhausted() {
+                    return;
+                }
+                let pos = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let fu = self.slots.get(pos).fu;
+                if budget.try_take(fu) {
+                    let rank = self.depth(pos);
+                    grants.push(self.grant_at(pos, rank));
+                }
+            }
+        }
+    }
+
     fn grant_at(&mut self, pos: usize, rank: usize) -> Grant {
         let slot = self.slots.get(pos);
         let g = Grant {
@@ -156,17 +196,14 @@ impl IssueQueue for CircQueue {
         let mut grants = Vec::new();
         // Candidate positions in this organization's priority order.
         // CIRC: ascending physical position (reversed under wrap-around).
-        // CIRC-PPRI: circular order from the head (true age order).
-        for i in 0..cap {
-            if budget.exhausted() {
-                break;
-            }
-            let pos = if self.perfect { (self.head + i) % cap } else { i };
-            let slot = self.slots.get(pos);
-            if slot.ready() && budget.try_take(slot.fu) {
-                let rank = self.depth(pos);
-                grants.push(self.grant_at(pos, rank));
-            }
+        // CIRC-PPRI: circular order from the head (true age order), i.e.
+        // positions head..cap followed by 0..head.
+        if self.perfect {
+            let head = self.head;
+            self.grant_ready_in(head, cap, budget, &mut grants);
+            self.grant_ready_in(0, head, budget, &mut grants);
+        } else {
+            self.grant_ready_in(0, cap, budget, &mut grants);
         }
         self.advance_head();
         grants

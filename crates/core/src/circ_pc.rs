@@ -106,11 +106,6 @@ impl CircPcQueue {
         }
     }
 
-    /// Is the entry at `pos` currently routed to `S_RV`?
-    fn is_rv(&self, pos: usize) -> bool {
-        self.slots.get(pos).reverse && self.wrapped()
-    }
-
     fn grant_at(&mut self, pos: usize, two_cycle: bool) -> Grant {
         let rank = self.depth(pos);
         let slot = self.slots.get(pos);
@@ -173,19 +168,32 @@ impl IssueQueue for CircPcQueue {
         self.stats.occupancy_sum += self.slots.len() as u64;
         self.stats.region_sum += self.region as u64;
 
-        let cap = self.capacity_();
         let mut grants = Vec::new();
+        let wrapped = self.wrapped();
+        let nwords = self.slots.ready_words().len();
 
         // 1. S_NR: grant NR requests in position order (= age order within
-        //    the NR region). Each grant reads the tag RAM normally.
-        for pos in 0..cap {
-            if budget.exhausted() {
-                break;
+        //    the NR region). Each grant reads the tag RAM normally. The
+        //    candidate vector is `ready & !pending_rv`, minus the reverse
+        //    plane while the wrap-around signal is up — combined one word
+        //    at a time, copied to a register before scanning so that
+        //    granting (which clears the granted bits) is safe.
+        'nr: for wi in 0..nwords {
+            let mut word = self.slots.ready_words()[wi] & !self.slots.pending_rv_words()[wi];
+            if wrapped {
+                word &= !self.slots.reverse_words()[wi];
             }
-            let slot = self.slots.get(pos);
-            if slot.ready() && !slot.pending_rv && !self.is_rv(pos) && budget.try_take(slot.fu) {
-                self.stats.tag_reads += 1;
-                grants.push(self.grant_at(pos, false));
+            while word != 0 {
+                if budget.exhausted() {
+                    break 'nr;
+                }
+                let pos = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let fu = self.slots.get(pos).fu;
+                if budget.try_take(fu) {
+                    self.stats.tag_reads += 1;
+                    grants.push(self.grant_at(pos, false));
+                }
             }
         }
 
@@ -202,24 +210,32 @@ impl IssueQueue for CircPcQueue {
                 self.stats.rv_issues += 1;
                 grants.push(self.grant_at(pos, true));
             } else {
-                self.slots.get_mut(pos).pending_rv = false;
+                self.slots.set_pending_rv(pos, false);
                 self.stats.rv_discards += 1;
             }
         }
 
-        // 3. S_RV: select up to IW ready RV requests for next cycle's merge.
+        // 3. S_RV: select up to IW ready RV requests for next cycle's merge
+        //    (`ready & !pending_rv & reverse`; only meaningful while the
+        //    wrap-around signal is up — otherwise no entry routes to S_RV).
         //    Each selection performs the second, time-sliced tag-RAM read.
-        let mut picked = 0;
-        for pos in 0..cap {
-            if picked == self.issue_width {
-                break;
-            }
-            let slot = self.slots.get(pos);
-            if slot.valid && slot.ready() && !slot.pending_rv && self.is_rv(pos) {
-                self.slots.get_mut(pos).pending_rv = true;
-                self.stats.tag_reads += 1;
-                self.pending.push(pos);
-                picked += 1;
+        if wrapped {
+            let mut picked = 0;
+            'rv: for wi in 0..nwords {
+                let mut word = self.slots.ready_words()[wi]
+                    & !self.slots.pending_rv_words()[wi]
+                    & self.slots.reverse_words()[wi];
+                while word != 0 {
+                    if picked == self.issue_width {
+                        break 'rv;
+                    }
+                    let pos = wi * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    self.slots.set_pending_rv(pos, true);
+                    self.stats.tag_reads += 1;
+                    self.pending.push(pos);
+                    picked += 1;
+                }
             }
         }
 

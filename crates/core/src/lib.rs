@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 mod age_matrix;
+pub mod bitset;
 mod circ;
 mod circ_pc;
 mod controller;
@@ -70,6 +71,7 @@ mod swque;
 mod types;
 
 pub use age_matrix::AgeMatrix;
+pub use bitset::BitSet;
 pub use circ::CircQueue;
 pub use circ_pc::CircPcQueue;
 pub use controller::{IntervalMetrics, ModeDecision, SwqueController, SwqueParams};

@@ -181,14 +181,18 @@ impl IssueQueue for RandomQueue {
         let mut grants = Vec::new();
 
         // Phase 1: each age matrix nominates its oldest ready instruction,
-        // which gets the highest priority independently of IQ position.
+        // which gets the highest priority independently of IQ position. The
+        // packed ready plane is handed to the matrix directly; each matrix
+        // masks it with its own (per-bucket) valid set, and a grant updates
+        // the plane before the next matrix reads it.
         for m in 0..self.matrices.len() {
             if budget.exhausted() {
                 break;
             }
-            let ready: Vec<usize> =
-                self.slots.valid_positions().filter(|&p| self.slots.get(p).ready()).collect();
-            let Some(pos) = self.matrices[m].oldest_ready(ready) else { continue };
+            let Some(pos) = self.matrices[m].oldest_ready_words(self.slots.ready_words())
+            else {
+                continue;
+            };
             let fu = self.slots.get(pos).fu;
             if budget.try_take(fu) {
                 grants.push(self.grant_at(pos, 0));
@@ -196,14 +200,21 @@ impl IssueQueue for RandomQueue {
         }
 
         // Phase 2: remaining grants in physical-position order — random
-        // with respect to age, which is RAND's weakness.
-        for pos in 0..self.slots.capacity() {
-            if budget.exhausted() {
-                break;
-            }
-            let slot = self.slots.get(pos);
-            if slot.ready() && budget.try_take(slot.fu) {
-                grants.push(self.grant_at(pos, pos));
+        // with respect to age, which is RAND's weakness. Word scan over the
+        // ready plane; each word is copied to a register before its bits
+        // are visited, so granting (which clears the bit) is safe.
+        'pos: for wi in 0..self.slots.ready_words().len() {
+            let mut word = self.slots.ready_words()[wi];
+            while word != 0 {
+                if budget.exhausted() {
+                    break 'pos;
+                }
+                let pos = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let fu = self.slots.get(pos).fu;
+                if budget.try_take(fu) {
+                    grants.push(self.grant_at(pos, pos));
+                }
             }
         }
 

@@ -161,14 +161,20 @@ impl IssueQueue for RearrangingQueue {
                 grants.push(self.grant_at(pos, 0));
             }
         }
-        // Then the main queue, positional (random w.r.t. age).
-        for pos in 0..self.slots.capacity() {
-            if budget.exhausted() {
-                break;
-            }
-            let slot = self.slots.get(pos);
-            if slot.valid && slot.ready() && !self.old.contains_key(&slot.seq) {
-                if budget.try_take(slot.fu) {
+        // Then the main queue, positional (random w.r.t. age): a word scan
+        // over the packed ready plane, skipping old-queue members. Words
+        // are copied to a register before their bits are visited, so
+        // granting (which clears the bit) cannot disturb the scan.
+        'main: for wi in 0..self.slots.ready_words().len() {
+            let mut word = self.slots.ready_words()[wi];
+            while word != 0 {
+                if budget.exhausted() {
+                    break 'main;
+                }
+                let pos = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let slot = self.slots.get(pos);
+                if !self.old.contains_key(&slot.seq) && budget.try_take(slot.fu) {
                     grants.push(self.grant_at(pos, pos));
                 }
             }

@@ -1,0 +1,80 @@
+//! Golden cycle counts: end-to-end cycle-exactness pins for the scheduling
+//! hot paths.
+//!
+//! The bitset rewrite of wakeup/select (swque-core) must be *cycle-exact*
+//! with respect to the scalar implementations it replaced: not just the
+//! same IPC trend, the same cycle count on the same instruction stream.
+//! These tests pin the exact `(cycles, retired)` pair of a short
+//! medium-model run for every issue-queue organization on two suite
+//! kernels. The expected values were recorded from the scalar
+//! implementation immediately before the rewrite; any scheduling change
+//! that alters simulated timing — by one cycle — fails here.
+//!
+//! If a *deliberate* timing model change is made, re-record the table with
+//! `cargo test -p swque-cpu --test golden_cycles -- --nocapture` (each run
+//! prints its actual pair) and say so in the commit message.
+
+use swque_core::IqKind;
+use swque_cpu::Core;
+use swque_cpu::CoreConfig;
+use swque_workloads::suite;
+
+const RUN_INSTS: u64 = 30_000;
+
+fn run(kind: IqKind, kernel: &str) -> (u64, u64) {
+    let k = suite::by_name(kernel).expect("golden kernel exists");
+    let program = k.build_scaled(6_000);
+    let mut core = Core::new(CoreConfig::medium(), kind, &program);
+    let r = core.run(RUN_INSTS);
+    (r.cycles, r.retired)
+}
+
+fn check(kernel: &str, expected: &[(IqKind, u64, u64)]) {
+    for &(kind, cycles, retired) in expected {
+        let (c, r) = run(kind, kernel);
+        println!("{kernel} {kind}: ({c}, {r})");
+        assert_eq!(
+            (c, r),
+            (cycles, retired),
+            "{kind} on {kernel}: got ({c}, {r}), golden ({cycles}, {retired})"
+        );
+    }
+}
+
+#[test]
+fn golden_cycles_deepsjeng_like() {
+    check(
+        "deepsjeng_like",
+        &[
+            (IqKind::Shift, 29_602, 30_000),
+            (IqKind::Circ, 31_286, 30_004),
+            (IqKind::CircPpri, 31_154, 30_000),
+            (IqKind::CircPc, 31_646, 30_000),
+            (IqKind::Rand, 33_235, 30_001),
+            (IqKind::Age, 34_070, 30_002),
+            (IqKind::AgeMulti, 29_601, 30_000),
+            (IqKind::Swque, 35_408, 30_002),
+            (IqKind::SwqueMulti, 31_656, 30_003),
+            (IqKind::Rearrange, 32_696, 30_003),
+        ],
+    );
+}
+
+#[test]
+fn golden_cycles_xz_like() {
+    check(
+        "xz_like",
+        &[
+            (IqKind::Shift, 65_998, 30_000),
+            (IqKind::Circ, 66_392, 30_000),
+            (IqKind::CircPpri, 66_390, 30_000),
+            (IqKind::CircPc, 67_728, 30_000),
+            (IqKind::Rand, 65_999, 30_000),
+            (IqKind::Age, 65_998, 30_000),
+            (IqKind::AgeMulti, 65_998, 30_000),
+            (IqKind::Swque, 66_576, 30_000),
+            (IqKind::SwqueMulti, 66_576, 30_000),
+            (IqKind::Rearrange, 65_998, 30_000),
+        ],
+    );
+}

@@ -129,7 +129,7 @@ impl Json {
     /// Returns a [`ParseError`] naming the byte offset and what was
     /// expected there.
     pub fn parse(text: &str) -> Result<Json, ParseError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
@@ -255,9 +255,17 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// parser uses one host stack frame per nesting level, so an adversarial
+/// `[[[[…]]]]` input would otherwise overflow the stack; real bench
+/// reports nest four or five levels deep.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting level, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -306,12 +314,24 @@ impl Parser<'_> {
         }
     }
 
+    /// Bumps the nesting level on container entry; errors at the cap
+    /// instead of recursing toward a host stack overflow.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting no deeper than 128 levels"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, ParseError> {
         self.eat(b'[', "'['")?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -322,6 +342,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("',' or ']'")),
@@ -331,10 +352,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, ParseError> {
         self.eat(b'{', "'{'")?;
+        self.descend()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -350,6 +373,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.err("',' or '}'")),
@@ -438,10 +462,17 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .expect("digits and punctuation are ASCII");
-        text.parse::<f64>().map(Json::Num).map_err(|_| ParseError {
+        let n: f64 = text.parse().map_err(|_| ParseError {
             offset: start,
             expected: "a number",
-        })
+        })?;
+        // Overflowing literals like `1e999` parse to ±infinity, which the
+        // writer can only render as `null` — accepting them would break
+        // parse/serialize round-tripping. Reject at the source instead.
+        if !n.is_finite() {
+            return Err(ParseError { offset: start, expected: "a finite number" });
+        }
+        Ok(Json::Num(n))
     }
 }
 
@@ -493,6 +524,76 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "trail", "1 2", "\"open", "{\"a\" 1}"] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // One past the cap fails cleanly…
+        let deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.expected.contains("nesting"), "got {err}");
+        // …as does a pathological input far beyond it (the original bug:
+        // recursion depth proportional to input length).
+        let bomb = "[".repeat(100_000);
+        assert!(Json::parse(&bomb).is_err());
+        let bomb = "{\"a\":".repeat(100_000);
+        assert!(Json::parse(&bomb).is_err());
+    }
+
+    #[test]
+    fn nesting_at_the_cap_parses() {
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(Json::parse(&ok).is_ok());
+        // Depth is current nesting, not a total-container count: many
+        // shallow siblings are fine.
+        let wide = format!("[{}]", vec!["[]"; 500].join(","));
+        assert!(Json::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn overflowing_number_literals_are_rejected() {
+        for bad in ["1e999", "-1e999", "1e308e", "123456789012e300"] {
+            let r = Json::parse(bad);
+            assert!(r.is_err(), "accepted {bad:?} as {r:?}");
+        }
+        // Large but finite is fine.
+        assert_eq!(Json::parse("1e300").unwrap().as_f64(), Some(1e300));
+    }
+
+    /// Round-trip pin: every finite value the builder can produce must
+    /// survive `to_string` → `parse` exactly. Random documents are built
+    /// from the in-tree RNG; before the non-finite rejection fix, a `Num`
+    /// holding infinity printed as `null` and round-tripping silently
+    /// changed the document.
+    #[test]
+    fn prop_write_parse_round_trip() {
+        use swque_rng::prop::{check, Gen};
+
+        fn random_value(g: &mut Gen, depth: usize) -> Json {
+            match g.gen_range(0u32..if depth < 4 { 8 } else { 6 }) {
+                0 => Json::Null,
+                1 => Json::Bool(g.bool()),
+                2 => Json::from(g.gen_range(0u64..1_000_000_000)),
+                3 => Json::Num(g.gen_range(0u64..2_000_000) as f64 / 1024.0 - 500.0),
+                4 => Json::from(format!("s{}", g.gen_range(0u64..1000))),
+                5 => Json::from("täb\t\"quote\"\nünicode \u{1F600}"),
+                6 => Json::Arr(
+                    (0..g.gen_range(0u64..5)).map(|_| random_value(g, depth + 1)).collect(),
+                ),
+                _ => Json::obj(
+                    (0..g.gen_range(0u64..5))
+                        .map(|i| (format!("k{i}"), random_value(g, depth + 1)))
+                        .collect::<Vec<_>>(),
+                ),
+            }
+        }
+
+        check(256, |g| {
+            let doc = random_value(g, 0);
+            let text = doc.to_string();
+            let back = Json::parse(&text).unwrap_or_else(|e| panic!("{e} in {text}"));
+            assert_eq!(back, doc, "round-trip changed the document: {text}");
+        });
     }
 
     #[test]

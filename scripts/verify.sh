@@ -30,6 +30,10 @@ SWQUE_WARMUP=5000 SWQUE_INSTS=20000 SWQUE_JSON="$json_tmp/fig09.json" \
     ./target/release/fig09 > /dev/null
 ./target/release/check_json "$json_tmp/fig09.json"
 
+echo "== perf gate: perf_gate --smoke -> check_json"
+SWQUE_JSON="$json_tmp/BENCH_TIER1.json" ./target/release/perf_gate --smoke > /dev/null
+./target/release/check_json "$json_tmp/BENCH_TIER1.json"
+
 echo "== hermeticity: no external dependency entries in any manifest"
 if grep -rn --include=Cargo.toml -E '^\s*(rand|proptest|criterion)\b' . ; then
     echo "error: external dependency reference found above" >&2

@@ -1,8 +1,9 @@
-//! Schema validator for structured experiment output: parses each file
-//! named on the command line with the in-tree JSON parser and checks the
-//! `swque-bench-v1` shape (and the nested `swque-trace-v1` shape of any
-//! embedded trace digests). Used by `scripts/verify.sh` as the JSON smoke
-//! step.
+//! Schema validator for structured tool output: parses each file named on
+//! the command line with the in-tree JSON parser and checks its declared
+//! schema — `swque-bench-v1` experiment reports (including the nested
+//! `swque-trace-v1` shape of any embedded trace digests) and
+//! `swque-lint-v1` analyzer reports. Used by `scripts/verify.sh` as the
+//! JSON smoke step for both producers.
 //!
 //! Diagnostics name the offending JSON path (`tables[2].rows[5]`,
 //! `traces[0].trace.events`, …) so a broken writer can be located without
@@ -15,17 +16,82 @@ use std::process::ExitCode;
 use swque_bench::BENCH_SCHEMA;
 use swque_trace::Json;
 
-/// Validates one parsed report. `Err` carries a diagnostic of the form
-/// `<json path>: <what is wrong>`.
+/// Schema string of `swque-lint` analyzer reports. Kept as a literal here
+/// because the lint crate is a dev-dependency only; the unit tests assert
+/// it matches `swque_lint::report::LINT_SCHEMA`.
+const LINT_SCHEMA: &str = "swque-lint-v1";
+
+/// Dispatches on the document's declared `schema` field.
 fn check_report(doc: &Json) -> Result<String, String> {
+    match doc.get("schema").and_then(Json::as_str).unwrap_or("") {
+        BENCH_SCHEMA => check_bench_report(doc),
+        LINT_SCHEMA => check_lint_report(doc),
+        other => Err(format!(
+            "schema: {other:?}, expected {BENCH_SCHEMA:?} or {LINT_SCHEMA:?}"
+        )),
+    }
+}
+
+/// Validates one `swque-lint-v1` analyzer report. `Err` carries a
+/// diagnostic of the form `<json path>: <what is wrong>`.
+fn check_lint_report(doc: &Json) -> Result<String, String> {
+    let keys = doc.keys();
+    let expect = ["schema", "files_scanned", "suppressed", "status", "rules", "findings"];
+    if keys != expect {
+        return Err(format!("$: top-level keys {keys:?}, expected {expect:?}"));
+    }
+    for key in ["files_scanned", "suppressed"] {
+        doc.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{key}: not an integer"))?;
+    }
+    let status = doc.get("status").and_then(Json::as_str).unwrap_or("");
+    if status != "ok" && status != "baseline-exceeded" {
+        return Err(format!("status: {status:?}, expected \"ok\" or \"baseline-exceeded\""));
+    }
+    let rules = doc.get("rules").and_then(Json::as_arr).ok_or("rules: not an array")?;
+    for (ri, r) in rules.iter().enumerate() {
+        if r.keys() != ["rule", "count", "baseline"] {
+            return Err(format!("rules[{ri}]: keys {:?}, expected rule/count/baseline", r.keys()));
+        }
+        r.get("rule")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("rules[{ri}].rule: not a string"))?;
+        for key in ["count", "baseline"] {
+            r.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("rules[{ri}].{key}: not an integer"))?;
+        }
+    }
+    let findings = doc.get("findings").and_then(Json::as_arr).ok_or("findings: not an array")?;
+    for (fi, f) in findings.iter().enumerate() {
+        if f.keys() != ["rule", "file", "line", "col", "message"] {
+            return Err(format!(
+                "findings[{fi}]: keys {:?}, expected rule/file/line/col/message",
+                f.keys()
+            ));
+        }
+        for key in ["rule", "file", "message"] {
+            f.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("findings[{fi}].{key}: not a string"))?;
+        }
+        for key in ["line", "col"] {
+            f.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("findings[{fi}].{key}: not an integer"))?;
+        }
+    }
+    Ok(format!("lint: {status}, {} rule(s), {} finding(s)", rules.len(), findings.len()))
+}
+
+/// Validates one `swque-bench-v1` experiment report. `Err` carries a
+/// diagnostic of the form `<json path>: <what is wrong>`.
+fn check_bench_report(doc: &Json) -> Result<String, String> {
     let keys = doc.keys();
     let expect = ["schema", "experiment", "params", "tables", "rows", "traces"];
     if keys != expect {
         return Err(format!("$: top-level keys {keys:?}, expected {expect:?}"));
-    }
-    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
-    if schema != BENCH_SCHEMA {
-        return Err(format!("schema: {schema:?}, expected {BENCH_SCHEMA:?}"));
     }
     let experiment = doc
         .get("experiment")
@@ -239,5 +305,52 @@ mod tests {
         assert!(err.starts_with("schema:"), "{err}");
         let err = check_report(&Json::obj([("schema", Json::from(BENCH_SCHEMA))])).unwrap_err();
         assert!(err.starts_with("$:"), "{err}");
+    }
+
+    /// A schema-valid lint report via the real `swque-lint` writer.
+    fn valid_lint_doc() -> Json {
+        use swque_lint::baseline::Baseline;
+        use swque_lint::rules::scan_rust;
+        let (findings, suppressed) = scan_rust(
+            "crates/core/src/fixture.rs",
+            "use std::collections::HashMap;\n",
+        );
+        let scan = swque_lint::Scan { findings, suppressed, files_scanned: 1 };
+        let counts = scan.counts();
+        let doc = swque_lint::report::report_json(&scan, &counts, &Baseline::default());
+        Json::parse(&doc.to_string()).expect("lint writer output parses")
+    }
+
+    #[test]
+    fn schema_literal_matches_the_lint_crate() {
+        assert_eq!(LINT_SCHEMA, swque_lint::report::LINT_SCHEMA);
+    }
+
+    #[test]
+    fn accepts_lint_writer_output() {
+        let desc = check_report(&valid_lint_doc()).expect("valid lint report");
+        assert!(desc.contains("baseline-exceeded"), "unbaselined finding shows: {desc}");
+        assert!(desc.contains("1 finding(s)"), "{desc}");
+    }
+
+    #[test]
+    fn names_the_offending_lint_field() {
+        let doc = valid_lint_doc();
+        let err = check_report(&with(&doc, "status", Json::from("maybe"))).unwrap_err();
+        assert!(err.starts_with("status:"), "{err}");
+        let err = check_report(&with(&doc, "rules", Json::Arr(vec![Json::obj([
+            ("rule", Json::from("no-unsafe")),
+            ("count", Json::from("zero")),
+            ("baseline", Json::from(0u64)),
+        ])])))
+        .unwrap_err();
+        assert!(err.starts_with("rules[0].count:"), "{err}");
+        let err = check_report(&with(&doc, "findings", Json::Arr(vec![Json::obj([
+            ("rule", Json::from("wall-clock")),
+            ("file", Json::from("x.rs")),
+            ("line", Json::from(1u64)),
+        ])])))
+        .unwrap_err();
+        assert!(err.starts_with("findings[0]:"), "{err}");
     }
 }

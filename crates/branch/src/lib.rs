@@ -21,6 +21,7 @@
 //! assert!(p.taken && p.target == Some(0x10));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod btb;

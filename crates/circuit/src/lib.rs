@@ -23,6 +23,7 @@
 //! structurally* elsewhere, so sweeps over queue size and issue width
 //! remain meaningful.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod area;

@@ -54,6 +54,7 @@
 //! assert_eq!(grants[0].payload, 101);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod age_matrix;

@@ -30,6 +30,7 @@
 //! assert!(result.ipc() > 0.5);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;

@@ -1,6 +1,6 @@
 //! Reorder buffer: program-order retirement of out-of-order execution.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use swque_isa::{ArchReg, Retired};
 
@@ -43,13 +43,17 @@ pub struct RobEntry {
 pub struct Rob {
     capacity: usize,
     order: VecDeque<u64>,
-    entries: HashMap<u64, RobEntry>,
+    /// Ordered map, per the determinism contract (DESIGN.md §8): uids are
+    /// monotone and the map stays at ROB size (≤ a few hundred), so the
+    /// B-tree costs nothing measurable while making every traversal
+    /// host-independent.
+    entries: BTreeMap<u64, RobEntry>,
 }
 
 impl Rob {
     /// Creates an empty ROB of `capacity` entries.
     pub fn new(capacity: usize) -> Rob {
-        Rob { capacity, order: VecDeque::with_capacity(capacity), entries: HashMap::new() }
+        Rob { capacity, order: VecDeque::with_capacity(capacity), entries: BTreeMap::new() }
     }
 
     /// Occupied entries.

@@ -38,6 +38,7 @@
 //! assert_eq!(emu.int_reg(Reg(2)), 55);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod asm;

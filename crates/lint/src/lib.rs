@@ -1,0 +1,177 @@
+//! `swque-lint` — the workspace's determinism and hermeticity analyzer.
+//!
+//! The SWQUE reproduction's evidence — golden cycle pins, lockstep bitset
+//! differentials, byte-identical parallel sweeps — rests on a contract the
+//! compiler does not enforce: simulated-path code must not read the wall
+//! clock, tap ambient randomness, iterate unordered containers, or consult
+//! the environment. This crate enforces that contract statically:
+//!
+//! * [`lexer`] — a minimal, total Rust lexer (comments, string/char/raw
+//!   literals, idents, punctuation) so rules see *code*, never prose.
+//! * [`rules`] — the token-stream rule engine with per-crate-class
+//!   policies and reasoned `// swque-lint: allow(rule) — why` pragmas.
+//! * [`baseline`] — the committed per-rule ratchet (`lint-baseline.json`):
+//!   pre-existing debt is held exactly, new debt fails the build, paid-down
+//!   debt nags until the baseline is tightened.
+//! * [`report`] — the versioned `swque-lint-v1` JSON report consumed by
+//!   the `check_json` validator.
+//!
+//! The `swque-lint` binary (`src/main.rs`) drives a workspace scan;
+//! `scripts/verify.sh` runs it as a hard gate. The rule table, policy
+//! matrix, pragma grammar, and ratchet semantics are documented in
+//! DESIGN.md §8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rules::{scan_manifest, scan_rust, Finding, RULES};
+
+/// Everything one workspace scan produced.
+#[derive(Debug, Clone)]
+pub struct Scan {
+    /// Surviving (unsuppressed) findings, in path order.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a valid pragma.
+    pub suppressed: usize,
+    /// Files scanned (Rust sources plus manifests).
+    pub files_scanned: usize,
+}
+
+impl Scan {
+    /// Per-rule finding counts, with every known rule present (zeros
+    /// included) so the ratchet and the report cover the full rule set.
+    pub fn counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts: BTreeMap<&'static str, u64> = RULES.iter().map(|&r| (r, 0)).collect();
+        for f in &self.findings {
+            if let Some(n) = counts.get_mut(f.rule) {
+                *n += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// True for directories the walker must not descend into: build output,
+/// VCS metadata, and anything hidden.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name.starts_with('.')
+}
+
+/// Collects every lintable file under `root`: `*.rs`, `Cargo.toml`, and
+/// `Cargo.lock`, skipping `target/` and hidden directories. Paths come
+/// back sorted so scans (and their reports) are deterministic.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !skip_dir(&name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") || name == "Cargo.toml" || name == "Cargo.lock" {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// The workspace-relative, forward-slash form of `path` used in policies
+/// and diagnostics.
+fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Scans every lintable file under `root`.
+pub fn scan_workspace(root: &Path) -> io::Result<Scan> {
+    let mut scan = Scan { findings: Vec::new(), suppressed: 0, files_scanned: 0 };
+    for path in collect_files(root)? {
+        let rel = relative(root, &path);
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue; // non-UTF-8 file: nothing for a Rust lexer to do
+        };
+        scan.files_scanned += 1;
+        if rel.ends_with(".rs") {
+            let (findings, suppressed) = scan_rust(&rel, &src);
+            scan.findings.extend(findings);
+            scan.suppressed += suppressed;
+        } else {
+            scan.findings.extend(scan_manifest(&rel, &src));
+        }
+    }
+    Ok(scan)
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_cover_every_rule_with_zeros() {
+        let scan = Scan { findings: Vec::new(), suppressed: 0, files_scanned: 0 };
+        let counts = scan.counts();
+        assert_eq!(counts.len(), RULES.len());
+        assert!(counts.values().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn walker_skips_target_and_hidden() {
+        assert!(skip_dir("target"));
+        assert!(skip_dir(".git"));
+        assert!(!skip_dir("crates"));
+        assert!(!skip_dir("src"));
+    }
+
+    #[test]
+    fn scans_a_scratch_tree_deterministically() {
+        let dir = std::env::temp_dir().join(format!("swque-lint-scan-{}", std::process::id()));
+        let src_dir = dir.join("crates/core/src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(
+            src_dir.join("bad.rs"),
+            "use std::collections::HashMap;\nfn t() { let _ = std::time::Instant::now(); }\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+        let scan = scan_workspace(&dir).unwrap();
+        let again = scan_workspace(&dir).unwrap();
+        assert_eq!(scan.findings, again.findings);
+        let counts = scan.counts();
+        assert_eq!(counts["unordered-container"], 1);
+        assert_eq!(counts["wall-clock"], 1);
+        assert_eq!(find_workspace_root(&src_dir), Some(dir.clone()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,121 @@
+//! The versioned `swque-lint-v1` JSON report.
+//!
+//! Shape (all keys always present, validated by the `check_json` binary in
+//! `swque-bench` and documented field-by-field in DESIGN.md §8):
+//!
+//! ```json
+//! {
+//!   "schema": "swque-lint-v1",
+//!   "files_scanned": 123,
+//!   "suppressed": 2,
+//!   "status": "ok",
+//!   "rules": [ {"rule": "no-unsafe", "count": 0, "baseline": 0}, … ],
+//!   "findings": [ {"rule": "…", "file": "…", "line": 1, "col": 5,
+//!                  "message": "…"}, … ]
+//! }
+//! ```
+//!
+//! `status` is `"ok"` when every rule is at or under its baseline and
+//! `"baseline-exceeded"` otherwise; `rules` lists every known rule in
+//! stable order with its current count and its baseline allowance.
+
+use std::collections::BTreeMap;
+
+use swque_trace::Json;
+
+use crate::baseline::Baseline;
+use crate::rules::RULES;
+use crate::Scan;
+
+/// Schema identifier written into every report.
+pub const LINT_SCHEMA: &str = "swque-lint-v1";
+
+/// Serializes a scan plus its ratchet verdict as a `swque-lint-v1`
+/// document.
+pub fn report_json(scan: &Scan, counts: &BTreeMap<&'static str, u64>, baseline: &Baseline) -> Json {
+    let ok = counts.iter().all(|(rule, &n)| n <= baseline.allowed(rule));
+    let rules = RULES
+        .iter()
+        .map(|&rule| {
+            Json::obj([
+                ("rule", Json::from(rule)),
+                ("count", Json::from(counts.get(rule).copied().unwrap_or(0))),
+                ("baseline", Json::from(baseline.allowed(rule))),
+            ])
+        })
+        .collect();
+    let findings = scan
+        .findings
+        .iter()
+        .map(|f| {
+            Json::obj([
+                ("rule", Json::from(f.rule)),
+                ("file", Json::from(f.file.as_str())),
+                ("line", Json::from(u64::from(f.line))),
+                ("col", Json::from(u64::from(f.col))),
+                ("message", Json::from(f.message.as_str())),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("schema", Json::from(LINT_SCHEMA)),
+        ("files_scanned", Json::from(scan.files_scanned as u64)),
+        ("suppressed", Json::from(scan.suppressed as u64)),
+        ("status", Json::from(if ok { "ok" } else { "baseline-exceeded" })),
+        ("rules", Json::Arr(rules)),
+        ("findings", Json::Arr(findings)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    fn scan_with(findings: Vec<Finding>) -> Scan {
+        Scan { findings, suppressed: 1, files_scanned: 3 }
+    }
+
+    #[test]
+    fn report_shape_is_stable_and_parses() {
+        let scan = scan_with(vec![Finding {
+            rule: "wall-clock",
+            file: "crates/core/src/x.rs".to_string(),
+            line: 4,
+            col: 9,
+            message: "`Instant` outside the sanctioned timing harness".to_string(),
+        }]);
+        let doc = report_json(&scan, &scan.counts(), &Baseline::default());
+        assert_eq!(
+            doc.keys(),
+            vec!["schema", "files_scanned", "suppressed", "status", "rules", "findings"],
+        );
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(LINT_SCHEMA));
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("baseline-exceeded"));
+        let rules = doc.get("rules").and_then(Json::as_arr).unwrap();
+        assert_eq!(rules.len(), RULES.len());
+        for r in rules {
+            assert_eq!(r.keys(), vec!["rule", "count", "baseline"]);
+        }
+        let findings = doc.get("findings").and_then(Json::as_arr).unwrap();
+        assert_eq!(findings[0].keys(), vec!["rule", "file", "line", "col", "message"]);
+        // Round-trips through the in-tree parser.
+        let back = Json::parse(&doc.to_string()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn status_ok_when_baseline_holds_the_debt() {
+        let scan = scan_with(vec![Finding {
+            rule: "panic-in-lib",
+            file: "crates/bench/src/output.rs".to_string(),
+            line: 1,
+            col: 1,
+            message: "x".to_string(),
+        }]);
+        let counts = scan.counts();
+        let baseline = Baseline::from_counts(&counts);
+        let doc = report_json(&scan, &counts, &baseline);
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+    }
+}

@@ -1,0 +1,525 @@
+//! The determinism/hermeticity rule engine.
+//!
+//! Rules run over the token stream from [`crate::lexer`] (so words inside
+//! comments and string literals never fire) with a per-file **policy**
+//! derived from the file's workspace path (see [`Policy`] and DESIGN.md §8
+//! for the crate-class matrix). Findings carry `file:line:col` diagnostics
+//! and can be suppressed with an explicit, reasoned pragma:
+//!
+//! ```text
+//! // swque-lint: allow(env-read) — documented SWQUE_PROP_CASES knob
+//! ```
+//!
+//! A pragma suppresses matching findings on its own line and on the line
+//! directly below it (so both trailing and preceding-line styles work).
+//! A pragma with an unknown rule name or a missing reason is itself a
+//! finding (`malformed-pragma`): silent or unexplained suppressions are
+//! exactly what the tool exists to prevent.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// Every rule the analyzer knows, in report order.
+///
+/// * `no-unsafe` — the `unsafe` keyword anywhere (the workspace is 100%
+///   safe code and `#![forbid(unsafe_code)]` locks each crate root; this
+///   rule catches the attribute being dropped).
+/// * `unordered-container` — `HashMap`/`HashSet` in the library code of
+///   the deterministic (simulated-path) crates; iteration order would leak
+///   host hash seeds into simulated behaviour.
+/// * `wall-clock` — `std::time` / `Instant` / `SystemTime` anywhere except
+///   the two sanctioned timing harness files.
+/// * `ambient-rng` — `thread_rng` / `from_entropy` / `rand::` paths; all
+///   randomness must flow through the pinned in-tree `swque-rng`.
+/// * `panic-in-lib` — `.unwrap(` / `.expect(` / `panic!` in non-test,
+///   non-bin library code.
+/// * `env-read` — `std::env` outside the bench/bin harness layer.
+/// * `malformed-pragma` — a `swque-lint:` pragma that fails to parse.
+/// * `external-dep` — `rand`/`proptest`/`criterion` named in a manifest.
+/// * `registry-source` — a `source =` entry in `Cargo.lock` (the lockfile
+///   must stay path-only for the offline build guarantee).
+pub const RULES: [&str; 9] = [
+    "no-unsafe",
+    "unordered-container",
+    "wall-clock",
+    "ambient-rng",
+    "panic-in-lib",
+    "env-read",
+    "malformed-pragma",
+    "external-dep",
+    "registry-source",
+];
+
+/// True if `rule` is one of [`RULES`].
+pub fn is_known_rule(rule: &str) -> bool {
+    RULES.contains(&rule)
+}
+
+/// One diagnostic: a rule fired at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired (an entry of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}: [{}] {}", self.file, self.line, self.col, self.rule, self.message)
+    }
+}
+
+/// Which rules apply to a file, derived from its workspace-relative path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Policy {
+    /// File lives in a test/bench/example tree (`tests/`, `benches/`,
+    /// `examples/` path segment): relaxed determinism, panics allowed.
+    pub test_code: bool,
+    /// File is a binary target (`src/bin/…` or `src/main.rs`): harness
+    /// layer, may read the environment and panic.
+    pub bin: bool,
+    /// Library code of a simulated-path crate: `HashMap`/`HashSet` banned.
+    pub deterministic: bool,
+    /// Sanctioned wall-clock site (the bench timer and the perf gate).
+    pub wall_clock_allowed: bool,
+    /// Sanctioned environment-read site (harness crate, bins, tests, and
+    /// the bench timer).
+    pub env_allowed: bool,
+    /// Non-bin, non-test code under some `src/`: panic family banned.
+    pub lib_code: bool,
+}
+
+/// Crates whose library code runs on the simulated path and therefore must
+/// not observe host hash-seed nondeterminism. `branch` and `circuit` carry
+/// no containers today but are simulated-path crates, so the ban applies
+/// to them too; `swque` is the root facade.
+const DETERMINISTIC_CRATES: [&str; 9] =
+    ["core", "cpu", "mem", "isa", "workloads", "trace", "branch", "circuit", "swque"];
+
+/// Files allowed to read the wall clock: the in-tree bench timer (the
+/// workspace's only `Instant` abstraction) and the host-throughput gate.
+const WALL_CLOCK_FILES: [&str; 2] =
+    ["crates/rng/src/timer.rs", "crates/bench/src/bin/perf_gate.rs"];
+
+/// Derives the rule policy for a workspace-relative path (forward-slash
+/// separated, e.g. `crates/mem/src/hierarchy.rs`).
+pub fn classify(rel: &str) -> Policy {
+    let segs: Vec<&str> = rel.split('/').collect();
+    let test_code =
+        segs.iter().any(|s| matches!(*s, "tests" | "benches" | "examples"));
+    let bin = rel.contains("src/bin/") || rel.ends_with("src/main.rs") || rel == "build.rs";
+    let crate_name = if segs.first() == Some(&"crates") && segs.len() > 1 {
+        segs[1]
+    } else {
+        "swque" // the root facade crate
+    };
+    let in_src = segs.iter().any(|s| *s == "src");
+    let deterministic = DETERMINISTIC_CRATES.contains(&crate_name)
+        && in_src
+        && !test_code
+        && !bin;
+    let wall_clock_allowed = WALL_CLOCK_FILES.contains(&rel);
+    let env_allowed =
+        crate_name == "bench" || bin || test_code || rel == "crates/rng/src/timer.rs";
+    let lib_code = in_src && !bin && !test_code;
+    Policy { test_code, bin, deterministic, wall_clock_allowed, env_allowed, lib_code }
+}
+
+/// A parsed suppression pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Pragma {
+    /// Line the pragma comment sits on.
+    line: u32,
+    /// The rules it suppresses.
+    rules: Vec<String>,
+}
+
+/// Parses the body of one `swque-lint:` comment (the text after the
+/// marker). Grammar: `allow(rule[, rule]*) <sep> <reason>` where `<sep>`
+/// is `—`, `–`, `-`, or `:` and `<reason>` is non-empty.
+fn parse_pragma_body(body: &str) -> Result<Vec<String>, String> {
+    let body = body.trim();
+    let rest = body
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .ok_or("expected `allow(rule, …)` after `swque-lint:`")?;
+    let rest = rest.strip_prefix('(').ok_or("expected `(` after `allow`")?;
+    let close = rest.find(')').ok_or("unclosed `allow(` rule list")?;
+    let (list, tail) = rest.split_at(close);
+    let mut rules = Vec::new();
+    for name in list.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            return Err("empty rule name in allow(...)".to_string());
+        }
+        if !is_known_rule(name) {
+            return Err(format!("unknown rule {name:?} (known: {})", RULES.join(", ")));
+        }
+        rules.push(name.to_string());
+    }
+    let mut reason = tail[1..].trim_start(); // past the ')'
+    for sep in ['\u{2014}', '\u{2013}', '-', ':'] {
+        if let Some(r) = reason.strip_prefix(sep) {
+            reason = r.trim_start();
+            break;
+        }
+    }
+    if reason.is_empty() {
+        return Err("pragma needs a reason: `allow(rule) — <why>`".to_string());
+    }
+    Ok(rules)
+}
+
+/// Extracts pragmas from comment tokens; malformed ones become findings.
+fn collect_pragmas(toks: &[Tok<'_>], rel: &str) -> (Vec<Pragma>, Vec<Finding>) {
+    let mut pragmas = Vec::new();
+    let mut findings = Vec::new();
+    for t in toks {
+        if !t.is_comment() {
+            continue;
+        }
+        let body = t.text.trim_start_matches('/').trim_start_matches('!').trim_start();
+        let Some(body) = body.strip_prefix("swque-lint:") else { continue };
+        match parse_pragma_body(body) {
+            Ok(rules) => pragmas.push(Pragma { line: t.line, rules }),
+            Err(why) => findings.push(Finding {
+                rule: "malformed-pragma",
+                file: rel.to_string(),
+                line: t.line,
+                col: t.col,
+                message: why,
+            }),
+        }
+    }
+    (pragmas, findings)
+}
+
+/// Inclusive line ranges of `#[cfg(test)]` items (the conventional
+/// `mod tests { … }` blocks). Determinism rules do not apply inside: test
+/// code may use `HashMap` models, `unwrap`, and friends freely.
+fn test_regions(code: &[&Tok<'_>]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 6 < code.len() {
+        let attr = ["#", "[", "cfg", "(", "test", ")", "]"];
+        if (0..7).all(|k| code[i + k].text == attr[k]) {
+            let start_line = code[i].line;
+            let mut j = i + 7;
+            // Skip any further attributes between cfg(test) and the item.
+            while j + 1 < code.len() && code[j].text == "#" && code[j + 1].text == "[" {
+                let mut depth = 0i32;
+                j += 1;
+                while j < code.len() {
+                    match code[j].text {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // The item body: first `{` brace-matched, or a `;` item.
+            while j < code.len() && code[j].text != "{" && code[j].text != ";" {
+                j += 1;
+            }
+            let mut end_line = code.get(j).map_or(start_line, |t| t.line);
+            if code.get(j).is_some_and(|t| t.text == "{") {
+                let mut depth = 0i32;
+                while j < code.len() {
+                    match code[j].text {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end_line = code[j].line;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j == code.len() {
+                    end_line = code.last().map_or(start_line, |t| t.line);
+                }
+            }
+            regions.push((start_line, end_line));
+            i = j.max(i + 7);
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// Scans one Rust source file. Returns the surviving findings plus the
+/// number of findings a pragma suppressed.
+pub fn scan_rust(rel: &str, src: &str) -> (Vec<Finding>, usize) {
+    let policy = classify(rel);
+    let toks = lex(src);
+    let (pragmas, mut findings) = collect_pragmas(&toks, rel);
+    let code: Vec<&Tok<'_>> = toks.iter().filter(|t| !t.is_comment()).collect();
+    let regions = test_regions(&code);
+    let in_test = |line: u32| regions.iter().any(|&(a, b)| a <= line && line <= b);
+
+    let text_at = |k: usize| code.get(k).map(|t| t.text);
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut push = |rule: &'static str, t: &Tok<'_>, message: String| {
+        raw.push(Finding { rule, file: rel.to_string(), line: t.line, col: t.col, message });
+    };
+
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(text_at);
+        let next = text_at(i + 1);
+        let next2 = text_at(i + 2);
+        let next3 = text_at(i + 3);
+        match t.text {
+            "unsafe" => {
+                push("no-unsafe", t, "`unsafe` is banned workspace-wide".to_string());
+            }
+            "HashMap" | "HashSet" if policy.deterministic && !in_test(t.line) => {
+                push(
+                    "unordered-container",
+                    t,
+                    format!(
+                        "`{}` in a deterministic crate: iteration order depends on the \
+                         host hash seed; use BTreeMap/BTreeSet or an index-keyed Vec",
+                        t.text
+                    ),
+                );
+            }
+            "Instant" | "SystemTime" if !policy.wall_clock_allowed => {
+                push(
+                    "wall-clock",
+                    t,
+                    format!("`{}` outside the sanctioned timing harness", t.text),
+                );
+            }
+            "std"
+                if !policy.wall_clock_allowed
+                    && next == Some(":")
+                    && next2 == Some(":")
+                    && next3 == Some("time") =>
+            {
+                push("wall-clock", t, "`std::time` outside the sanctioned timing harness".into());
+            }
+            "thread_rng" | "from_entropy" => {
+                push(
+                    "ambient-rng",
+                    t,
+                    format!("`{}` taps ambient entropy; seed a `swque_rng::Rng` instead", t.text),
+                );
+            }
+            "rand" if next == Some(":") && next2 == Some(":") => {
+                push("ambient-rng", t, "`rand::` path: the workspace PRNG is swque-rng".into());
+            }
+            "unwrap" | "expect"
+                if policy.lib_code
+                    && !in_test(t.line)
+                    && prev == Some(".")
+                    && next == Some("(") =>
+            {
+                push(
+                    "panic-in-lib",
+                    t,
+                    format!("`.{}(` in library code; bubble a Result or document the invariant", t.text),
+                );
+            }
+            "panic" if policy.lib_code && !in_test(t.line) && next == Some("!") => {
+                push("panic-in-lib", t, "`panic!` in library code".to_string());
+            }
+            "std"
+                if !policy.env_allowed
+                    && !in_test(t.line)
+                    && next == Some(":")
+                    && next2 == Some(":")
+                    && next3 == Some("env") =>
+            {
+                push(
+                    "env-read",
+                    t,
+                    "`std::env` outside the bench/bin harness layer".to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // One finding per (rule, line): a `use std::time::Instant` should read
+    // as one diagnostic, not three.
+    raw.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    raw.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+
+    let mut suppressed = 0usize;
+    for f in raw {
+        let allowed = pragmas.iter().any(|p| {
+            (p.line == f.line || p.line + 1 == f.line)
+                && p.rules.iter().any(|r| r == f.rule)
+        });
+        if allowed {
+            suppressed += 1;
+        } else {
+            findings.push(f);
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    (findings, suppressed)
+}
+
+/// Scans a manifest (`Cargo.toml`) or lockfile (`Cargo.lock`) with the
+/// hermeticity line rules that used to live as `grep`s in `verify.sh`.
+pub fn scan_manifest(rel: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let lock = rel.ends_with("Cargo.lock");
+    for (ln, line) in src.lines().enumerate() {
+        let line_no = ln as u32 + 1;
+        let trimmed = line.trim_start();
+        let col = (line.chars().count() - trimmed.chars().count()) as u32 + 1;
+        if lock {
+            if trimmed.starts_with("source =") {
+                findings.push(Finding {
+                    rule: "registry-source",
+                    file: rel.to_string(),
+                    line: line_no,
+                    col,
+                    message: "Cargo.lock names a registry source; the lockfile must stay \
+                              path-only for the offline build"
+                        .to_string(),
+                });
+            }
+            continue;
+        }
+        for dep in ["rand", "proptest", "criterion"] {
+            let boundary_ok = trimmed
+                .strip_prefix(dep)
+                .is_some_and(|rest| !rest.starts_with(|c: char| c.is_alphanumeric() || c == '_'));
+            if boundary_ok {
+                findings.push(Finding {
+                    rule: "external-dep",
+                    file: rel.to_string(),
+                    line: line_no,
+                    col,
+                    message: format!(
+                        "manifest names external dependency `{dep}`; the workspace is hermetic"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_matrix() {
+        let det = classify("crates/mem/src/hierarchy.rs");
+        assert!(det.deterministic && det.lib_code && !det.env_allowed);
+        let bench = classify("crates/bench/src/harness.rs");
+        assert!(!bench.deterministic && bench.env_allowed && bench.lib_code);
+        let bin = classify("crates/bench/src/bin/perf_gate.rs");
+        assert!(bin.bin && bin.wall_clock_allowed && !bin.lib_code);
+        let timer = classify("crates/rng/src/timer.rs");
+        assert!(timer.wall_clock_allowed && timer.env_allowed && timer.lib_code);
+        let test = classify("crates/core/tests/proptest_queues.rs");
+        assert!(test.test_code && !test.deterministic && test.env_allowed);
+        let root = classify("src/lib.rs");
+        assert!(root.deterministic && root.lib_code);
+        let example = classify("examples/quickstart.rs");
+        assert!(example.test_code, "examples are harness-class");
+        let lint = classify("crates/lint/src/rules.rs");
+        assert!(!lint.deterministic && lint.lib_code && !lint.env_allowed);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        let (findings, _) = scan_rust("crates/core/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn dedupe_one_finding_per_line() {
+        let src = "use std::time::Instant;\n";
+        let (findings, _) = scan_rust("crates/core/src/x.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn pragma_suppresses_own_and_next_line() {
+        let above = "// swque-lint: allow(wall-clock) — fixture\nuse std::time::Instant;\n";
+        let (f, s) = scan_rust("crates/core/src/x.rs", above);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(s, 1);
+        let trailing =
+            "use std::time::Instant; // swque-lint: allow(wall-clock) — fixture\n";
+        let (f, s) = scan_rust("crates/core/src/x.rs", trailing);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(s, 1);
+    }
+
+    #[test]
+    fn pragma_does_not_leak_two_lines_down() {
+        let src = "// swque-lint: allow(wall-clock) — fixture\n\nuse std::time::Instant;\n";
+        let (f, _) = scan_rust("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn words_in_strings_and_comments_do_not_fire() {
+        let src = "const X: &str = \"HashMap Instant unsafe\"; // HashMap\n/* unsafe */\n";
+        let (f, _) = scan_rust("crates/core/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn expect_attribute_is_not_a_panic() {
+        // #[expect(...)] has no leading dot; only `.expect(` fires.
+        let src = "#[expect(dead_code)]\nfn f() {}\n";
+        let (f, _) = scan_rust("crates/core/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn manifest_rules_fire_with_word_boundary() {
+        let toml = "[dependencies]\nrandomize = \"1\"\nrand = \"0.8\"\n";
+        let f = scan_manifest("crates/x/Cargo.toml", toml);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].rule, f[0].line), ("external-dep", 3));
+        let lock = "[[package]]\nname = \"x\"\nsource = \"registry+https://x\"\n";
+        let f = scan_manifest("Cargo.lock", lock);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "registry-source");
+    }
+
+    #[test]
+    fn malformed_pragmas_are_findings() {
+        for src in [
+            "// swque-lint: allow(wall-clock)\n",      // no reason
+            "// swque-lint: allow(not-a-rule) — x\n",  // unknown rule
+            "// swque-lint: allow wall-clock — x\n",   // no parens
+        ] {
+            let (f, _) = scan_rust("crates/core/src/x.rs", src);
+            assert_eq!(f.len(), 1, "{src:?} -> {f:?}");
+            assert_eq!(f[0].rule, "malformed-pragma");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Fixture-corpus self-tests: one fixture per rule, each asserting the
+//! exact diagnostic (rule, line, column, message) and that the rule's
+//! `allow` pragma suppresses it.
+//!
+//! Fixtures are raw-string literals, not files on disk, so a workspace
+//! scan of this crate never sees them as real violations (string contents
+//! are opaque to the token-level rules).
+
+use swque_lint::rules::{scan_manifest, scan_rust, Finding, RULES};
+
+/// Runs one positive/negative fixture pair for a token rule:
+/// `bare` must produce exactly one finding of `rule` at `(line, col)` whose
+/// message contains `needle`; `allowed` (the same code with a pragma) must
+/// produce none, with exactly one suppression recorded.
+fn assert_rule(rule: &str, path: &str, bare: &str, allowed: &str, line: u32, col: u32, needle: &str) {
+    let (findings, suppressed) = scan_rust(path, bare);
+    assert_eq!(findings.len(), 1, "{rule}: expected one finding, got {findings:?}");
+    let f = &findings[0];
+    assert_eq!(f.rule, rule);
+    assert_eq!((f.line, f.col), (line, col), "{rule}: wrong position: {f}");
+    assert!(f.message.contains(needle), "{rule}: message {:?} lacks {needle:?}", f.message);
+    assert_eq!(f.file, path);
+    assert_eq!(suppressed, 0);
+
+    let (findings, suppressed) = scan_rust(path, allowed);
+    assert!(findings.is_empty(), "{rule}: pragma failed to suppress: {findings:?}");
+    assert_eq!(suppressed, 1, "{rule}: suppression not recorded");
+}
+
+#[test]
+fn fixture_no_unsafe() {
+    assert_rule(
+        "no-unsafe",
+        "crates/core/src/fixture.rs",
+        "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        "// swque-lint: allow(no-unsafe) — fixture exercising the pragma path\n\
+         fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        1,
+        28,
+        "banned workspace-wide",
+    );
+}
+
+#[test]
+fn fixture_unordered_container() {
+    assert_rule(
+        "unordered-container",
+        "crates/cpu/src/fixture.rs",
+        "use std::collections::HashMap;\n",
+        "// swque-lint: allow(unordered-container) — fixture: lookup-only map\n\
+         use std::collections::HashMap;\n",
+        1,
+        23,
+        "iteration order depends on the host hash seed",
+    );
+}
+
+#[test]
+fn fixture_wall_clock() {
+    assert_rule(
+        "wall-clock",
+        "crates/core/src/fixture.rs",
+        "fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+        "// swque-lint: allow(wall-clock) — fixture: not simulated-path timing\n\
+         fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+        1,
+        13,
+        "sanctioned timing harness",
+    );
+}
+
+#[test]
+fn fixture_ambient_rng() {
+    assert_rule(
+        "ambient-rng",
+        "crates/workloads/src/fixture.rs",
+        "fn roll() -> u64 { thread_rng().next_u64() }\n",
+        "// swque-lint: allow(ambient-rng) — fixture: documenting the banned call\n\
+         fn roll() -> u64 { thread_rng().next_u64() }\n",
+        1,
+        20,
+        "ambient entropy",
+    );
+}
+
+#[test]
+fn fixture_panic_in_lib() {
+    assert_rule(
+        "panic-in-lib",
+        "crates/trace/src/fixture.rs",
+        "pub fn head(v: &[u8]) -> u8 { *v.first().unwrap() }\n",
+        "// swque-lint: allow(panic-in-lib) — fixture: invariant documented at call site\n\
+         pub fn head(v: &[u8]) -> u8 { *v.first().unwrap() }\n",
+        1,
+        42,
+        "library code",
+    );
+}
+
+#[test]
+fn fixture_env_read() {
+    assert_rule(
+        "env-read",
+        "crates/isa/src/fixture.rs",
+        "pub fn knob() -> Option<String> { std::env::var(\"X\").ok() }\n",
+        "// swque-lint: allow(env-read) — fixture: documented configuration knob\n\
+         pub fn knob() -> Option<String> { std::env::var(\"X\").ok() }\n",
+        1,
+        35,
+        "bench/bin harness layer",
+    );
+}
+
+#[test]
+fn fixture_malformed_pragma() {
+    // A reasonless pragma is itself the finding; there is deliberately no
+    // pragma that can suppress a malformed pragma.
+    let (findings, suppressed) =
+        scan_rust("crates/core/src/fixture.rs", "// swque-lint: allow(wall-clock)\nfn f() {}\n");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.line, f.col), ("malformed-pragma", 1, 1));
+    assert!(f.message.contains("reason"), "{:?}", f.message);
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn fixture_external_dep() {
+    let findings = scan_manifest("crates/x/Cargo.toml", "[dependencies]\nproptest = \"1\"\n");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.line, f.col), ("external-dep", 2, 1));
+    assert!(f.message.contains("hermetic"), "{:?}", f.message);
+}
+
+#[test]
+fn fixture_registry_source() {
+    let findings = scan_manifest(
+        "Cargo.lock",
+        "[[package]]\nname = \"rand\"\nsource = \"registry+https://github.com/rust-lang/crates.io-index\"\n",
+    );
+    // Line 3 is the registry source; the `name = "rand"` line is not an
+    // external-dep finding because Cargo.lock only runs the lock rule.
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    let f = &findings[0];
+    assert_eq!((f.rule, f.line, f.col), ("registry-source", 3, 1));
+    assert!(f.message.contains("path-only"), "{:?}", f.message);
+}
+
+/// Every rule in the table is exercised by a fixture above; this meta-test
+/// fails when a rule is added without one.
+#[test]
+fn every_rule_has_a_fixture() {
+    let covered = [
+        "no-unsafe",
+        "unordered-container",
+        "wall-clock",
+        "ambient-rng",
+        "panic-in-lib",
+        "env-read",
+        "malformed-pragma",
+        "external-dep",
+        "registry-source",
+    ];
+    for rule in RULES {
+        assert!(covered.contains(&rule), "rule {rule} has no fixture self-test");
+    }
+}
+
+/// Class policy, end-to-end: the same source is a finding in a
+/// deterministic crate and clean in an exempt location.
+#[test]
+fn policy_exemptions_hold() {
+    let env_src = "pub fn knob() -> Option<String> { std::env::var(\"X\").ok() }\n";
+    for exempt in [
+        "crates/bench/src/harness.rs",    // harness crate
+        "crates/cpu/src/bin/tool.rs",     // binary target
+        "crates/mem/tests/integration.rs", // test tree
+        "crates/rng/src/timer.rs",        // sanctioned timer
+    ] {
+        let (findings, _) = scan_rust(exempt, env_src);
+        assert!(findings.is_empty(), "{exempt}: {findings:?}");
+    }
+
+    let clock_src = "fn t() { let _ = std::time::Instant::now(); }\n";
+    for exempt in ["crates/rng/src/timer.rs", "crates/bench/src/bin/perf_gate.rs"] {
+        let (findings, _) = scan_rust(exempt, clock_src);
+        assert!(findings.is_empty(), "{exempt}: {findings:?}");
+    }
+
+    let map_src = "use std::collections::HashSet;\n";
+    for exempt in ["crates/bench/src/table.rs", "crates/core/tests/model.rs"] {
+        let (findings, _) = scan_rust(exempt, map_src);
+        assert!(findings.is_empty(), "{exempt}: {findings:?}");
+    }
+
+    let panic_src = "pub fn f(v: Option<u8>) -> u8 { v.expect(\"set\") }\n";
+    for exempt in ["crates/cpu/src/bin/tool.rs", "crates/cpu/tests/t.rs", "examples/demo.rs"] {
+        let (findings, _) = scan_rust(exempt, panic_src);
+        assert!(findings.is_empty(), "{exempt}: {findings:?}");
+    }
+}
+
+/// Multi-rule pragma: one comment may allow several rules at once.
+#[test]
+fn pragma_with_multiple_rules() {
+    let src = "// swque-lint: allow(wall-clock, env-read) — fixture: both on purpose\n\
+               fn f() { let _ = std::time::Instant::now(); let _ = std::env::var(\"X\"); }\n";
+    let (findings, suppressed) = scan_rust("crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 2);
+}
+
+/// A pragma for rule A does not hide rule B on the same line.
+#[test]
+fn pragma_is_rule_specific() {
+    let src = "// swque-lint: allow(env-read) — fixture: env only\n\
+               fn f() { let _ = std::time::Instant::now(); let _ = std::env::var(\"X\"); }\n";
+    let (findings, suppressed) = scan_rust("crates/core/src/fixture.rs", src);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "wall-clock");
+    assert_eq!(suppressed, 1);
+}
+
+/// The diagnostics display as `file:line:col: [rule] message`.
+#[test]
+fn diagnostic_format() {
+    let (findings, _) =
+        scan_rust("crates/core/src/fixture.rs", "use std::collections::HashMap;\n");
+    let shown = findings[0].to_string();
+    assert!(
+        shown.starts_with("crates/core/src/fixture.rs:1:23: [unordered-container]"),
+        "{shown}"
+    );
+    let _: &Finding = &findings[0];
+}

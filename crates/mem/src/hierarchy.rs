@@ -1,7 +1,7 @@
 //! The full memory hierarchy: L1s backed by a unified L2 backed by DRAM,
 //! with MSHR-limited miss overlap and an L2 stream prefetcher.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use swque_trace::{TraceEvent, TraceHandle};
 
@@ -47,10 +47,14 @@ pub struct MemoryHierarchy {
     l2: Cache,
     dram: Dram,
     prefetcher: Option<StreamPrefetcher>,
-    /// Outstanding L1D misses: L1-line address → completion cycle.
-    mshr: HashMap<u64, u64>,
+    /// Outstanding L1D misses: L1-line address → completion cycle. Ordered
+    /// map on purpose: `purge` and the MSHR occupancy scan iterate it, and
+    /// the determinism contract (DESIGN.md §8) bans hash-order iteration
+    /// on the simulated path.
+    mshr: BTreeMap<u64, u64>,
     /// In-flight L2 fills (demand or prefetch): L2-line → completion cycle.
-    inflight_l2: HashMap<u64, u64>,
+    /// Ordered for the same reason as `mshr`.
+    inflight_l2: BTreeMap<u64, u64>,
     /// Observability sink (disabled by default; see
     /// [`MemoryHierarchy::set_trace`]).
     trace: TraceHandle,
@@ -79,8 +83,8 @@ impl MemoryHierarchy {
                 config.l2.line_bytes as u64,
             ),
             prefetcher: config.prefetch.map(StreamPrefetcher::new),
-            mshr: HashMap::new(),
-            inflight_l2: HashMap::new(),
+            mshr: BTreeMap::new(),
+            inflight_l2: BTreeMap::new(),
             trace: TraceHandle::disabled(),
             trace_epoch: 0,
             trace_epoch_base: (0, 0),

@@ -30,6 +30,7 @@
 //! assert_eq!(again.done_at, first.done_at + 2, "L1 hit costs 2 cycles");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;

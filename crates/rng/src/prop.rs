@@ -164,6 +164,7 @@ impl std::ops::DerefMut for Gen {
 /// How many cases to run given the test's request, honouring
 /// `SWQUE_PROP_CASES`.
 fn effective_cases(requested: usize) -> usize {
+    // swque-lint: allow(env-read) — SWQUE_PROP_CASES is the documented case-budget knob
     match std::env::var("SWQUE_PROP_CASES") {
         Ok(v) => v
             .trim()
@@ -177,6 +178,7 @@ fn effective_cases(requested: usize) -> usize {
 /// The base seed, honouring `SWQUE_PROP_SEED` (hex with `0x` prefix, or
 /// decimal).
 fn base_seed() -> u64 {
+    // swque-lint: allow(env-read) — SWQUE_PROP_SEED is the documented failing-case replay knob
     match std::env::var("SWQUE_PROP_SEED") {
         Ok(v) => {
             let t = v.trim();

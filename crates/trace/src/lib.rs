@@ -53,6 +53,7 @@
 //!
 //! [`IqStats`]: https://docs.rs/swque-core
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;

@@ -35,6 +35,7 @@
 //! emu.run(10_000_000).expect("kernel terminates");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod kernel;

@@ -11,8 +11,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: cargo build --release --offline"
-cargo build --release --offline
+echo "== tier-1: cargo build --release --offline --workspace"
+# --workspace matters twice over: it builds the harness binaries this
+# script runs below (a bare `cargo build` only covers the facade crate's
+# dependency closure, silently leaving stale fig/perf_gate binaries), and
+# it builds the swque-lint gate.
+cargo build --release --offline --workspace
 
 echo "== tier-1: cargo test -q --offline"
 cargo test -q --offline
@@ -23,9 +27,22 @@ cargo test -q --offline --workspace
 echo "== docs: cargo doc --no-deps --offline (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
-echo "== json: schema smoke (fig09 -> check_json, reduced budget)"
+echo "== lint: swque-lint --workspace against the committed ratchet baseline"
 json_tmp="$(mktemp -d)"
 trap 'rm -rf "$json_tmp"' EXIT
+SWQUE_JSON="$json_tmp/lint.json" ./target/release/swque-lint --workspace
+./target/release/check_json "$json_tmp/lint.json"
+
+echo "== lint: negative self-check (injected violation must fail)"
+mkdir -p "$json_tmp/fake/crates/core/src"
+printf 'fn t() -> std::time::Instant { std::time::Instant::now() }\n' \
+    > "$json_tmp/fake/crates/core/src/injected.rs"
+if ./target/release/swque-lint --root "$json_tmp/fake" > /dev/null 2>&1; then
+    echo "error: swque-lint passed a tree with an injected std::time::Instant" >&2
+    exit 1
+fi
+
+echo "== json: schema smoke (fig09 -> check_json, reduced budget)"
 SWQUE_WARMUP=5000 SWQUE_INSTS=20000 SWQUE_JSON="$json_tmp/fig09.json" \
     ./target/release/fig09 > /dev/null
 ./target/release/check_json "$json_tmp/fig09.json"
@@ -34,14 +51,8 @@ echo "== perf gate: perf_gate --smoke -> check_json"
 SWQUE_JSON="$json_tmp/BENCH_TIER1.json" ./target/release/perf_gate --smoke > /dev/null
 ./target/release/check_json "$json_tmp/BENCH_TIER1.json"
 
-echo "== hermeticity: no external dependency entries in any manifest"
-if grep -rn --include=Cargo.toml -E '^\s*(rand|proptest|criterion)\b' . ; then
-    echo "error: external dependency reference found above" >&2
-    exit 1
-fi
-if grep -n 'source = ' Cargo.lock; then
-    echo "error: Cargo.lock references a registry source" >&2
-    exit 1
-fi
+# Hermeticity (no external deps in manifests, path-only Cargo.lock) is
+# enforced by the swque-lint gate above via the external-dep and
+# registry-source rules — one enforcement path instead of ad-hoc greps.
 
 echo "verify: OK"

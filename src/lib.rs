@@ -56,6 +56,8 @@
 //! assert!(result.ipc() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use swque_branch as branch;
 pub use swque_circuit as circuit;
 pub use swque_core as iq;

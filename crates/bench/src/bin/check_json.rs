@@ -2,8 +2,9 @@
 //! the command line with the in-tree JSON parser and checks its declared
 //! schema — `swque-bench-v1` experiment reports (including the nested
 //! `swque-trace-v1` shape of any embedded trace digests) and
-//! `swque-lint-v1` analyzer reports. Used by `scripts/verify.sh` as the
-//! JSON smoke step for both producers.
+//! `swque-lint-v2` analyzer reports (the legacy `swque-lint-v1` shape,
+//! whose findings lack `rule_class`, is still accepted). Used by
+//! `scripts/verify.sh` as the JSON smoke step for both producers.
 //!
 //! Diagnostics name the offending JSON path (`tables[2].rows[5]`,
 //! `traces[0].trace.events`, …) so a broken writer can be located without
@@ -16,25 +17,34 @@ use std::process::ExitCode;
 use swque_bench::BENCH_SCHEMA;
 use swque_trace::Json;
 
-/// Schema string of `swque-lint` analyzer reports. Kept as a literal here
-/// because the lint crate is a dev-dependency only; the unit tests assert
-/// it matches `swque_lint::report::LINT_SCHEMA`.
-const LINT_SCHEMA: &str = "swque-lint-v1";
+/// Schema string of current `swque-lint` analyzer reports. Kept as a
+/// literal here because the lint crate is a dev-dependency only; the unit
+/// tests assert it matches `swque_lint::report::LINT_SCHEMA`.
+const LINT_SCHEMA: &str = "swque-lint-v2";
+
+/// The legacy analyzer report schema (findings without `rule_class`),
+/// still accepted so archived reports keep validating.
+const LINT_SCHEMA_V1: &str = "swque-lint-v1";
+
+/// The analysis layers a v2 finding may name.
+const RULE_CLASSES: [&str; 3] = ["token", "ast", "reachability"];
 
 /// Dispatches on the document's declared `schema` field.
 fn check_report(doc: &Json) -> Result<String, String> {
     match doc.get("schema").and_then(Json::as_str).unwrap_or("") {
         BENCH_SCHEMA => check_bench_report(doc),
-        LINT_SCHEMA => check_lint_report(doc),
+        LINT_SCHEMA => check_lint_report(doc, 2),
+        LINT_SCHEMA_V1 => check_lint_report(doc, 1),
         other => Err(format!(
-            "schema: {other:?}, expected {BENCH_SCHEMA:?} or {LINT_SCHEMA:?}"
+            "schema: {other:?}, expected {BENCH_SCHEMA:?}, {LINT_SCHEMA:?}, or {LINT_SCHEMA_V1:?}"
         )),
     }
 }
 
-/// Validates one `swque-lint-v1` analyzer report. `Err` carries a
-/// diagnostic of the form `<json path>: <what is wrong>`.
-fn check_lint_report(doc: &Json) -> Result<String, String> {
+/// Validates one `swque-lint` analyzer report (`version` 1 or 2; v2
+/// findings must carry a valid `rule_class`). `Err` carries a diagnostic
+/// of the form `<json path>: <what is wrong>`.
+fn check_lint_report(doc: &Json, version: u8) -> Result<String, String> {
     let keys = doc.keys();
     let expect = ["schema", "files_scanned", "suppressed", "status", "rules", "findings"];
     if keys != expect {
@@ -65,16 +75,26 @@ fn check_lint_report(doc: &Json) -> Result<String, String> {
     }
     let findings = doc.get("findings").and_then(Json::as_arr).ok_or("findings: not an array")?;
     for (fi, f) in findings.iter().enumerate() {
-        if f.keys() != ["rule", "file", "line", "col", "message"] {
-            return Err(format!(
-                "findings[{fi}]: keys {:?}, expected rule/file/line/col/message",
-                f.keys()
-            ));
+        let want: &[&str] = if version >= 2 {
+            &["rule", "rule_class", "file", "line", "col", "message"]
+        } else {
+            &["rule", "file", "line", "col", "message"]
+        };
+        if f.keys() != want {
+            return Err(format!("findings[{fi}]: keys {:?}, expected {want:?}", f.keys()));
         }
         for key in ["rule", "file", "message"] {
             f.get(key)
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("findings[{fi}].{key}: not a string"))?;
+        }
+        if version >= 2 {
+            let class = f.get("rule_class").and_then(Json::as_str).unwrap_or("");
+            if !RULE_CLASSES.contains(&class) {
+                return Err(format!(
+                    "findings[{fi}].rule_class: {class:?}, expected one of {RULE_CLASSES:?}"
+                ));
+            }
         }
         for key in ["line", "col"] {
             f.get(key)
@@ -82,7 +102,11 @@ fn check_lint_report(doc: &Json) -> Result<String, String> {
                 .ok_or_else(|| format!("findings[{fi}].{key}: not an integer"))?;
         }
     }
-    Ok(format!("lint: {status}, {} rule(s), {} finding(s)", rules.len(), findings.len()))
+    Ok(format!(
+        "lint v{version}: {status}, {} rule(s), {} finding(s)",
+        rules.len(),
+        findings.len()
+    ))
 }
 
 /// Validates one `swque-bench-v1` experiment report. `Err` carries a
@@ -313,7 +337,7 @@ mod tests {
         use swque_lint::rules::scan_rust;
         let (findings, suppressed) = scan_rust(
             "crates/core/src/fixture.rs",
-            "use std::collections::HashMap;\n",
+            "fn t() { let _ = std::time::Instant::now(); }\n",
         );
         let scan = swque_lint::Scan { findings, suppressed, files_scanned: 1 };
         let counts = scan.counts();
@@ -321,9 +345,22 @@ mod tests {
         Json::parse(&doc.to_string()).expect("lint writer output parses")
     }
 
+    /// A minimal hand-written legacy v1 report (findings lack rule_class).
+    fn v1_lint_doc() -> Json {
+        Json::parse(
+            r#"{"schema":"swque-lint-v1","files_scanned":1,"suppressed":0,
+                "status":"baseline-exceeded",
+                "rules":[{"rule":"wall-clock","count":1,"baseline":0}],
+                "findings":[{"rule":"wall-clock","file":"crates/core/src/x.rs",
+                             "line":1,"col":18,"message":"m"}]}"#,
+        )
+        .expect("literal parses")
+    }
+
     #[test]
     fn schema_literal_matches_the_lint_crate() {
         assert_eq!(LINT_SCHEMA, swque_lint::report::LINT_SCHEMA);
+        assert_eq!(LINT_SCHEMA_V1, swque_lint::report::LINT_SCHEMA_V1);
     }
 
     #[test]
@@ -331,6 +368,50 @@ mod tests {
         let desc = check_report(&valid_lint_doc()).expect("valid lint report");
         assert!(desc.contains("baseline-exceeded"), "unbaselined finding shows: {desc}");
         assert!(desc.contains("1 finding(s)"), "{desc}");
+        assert!(desc.contains("lint v2"), "writer output is v2: {desc}");
+    }
+
+    #[test]
+    fn accepts_legacy_v1_reports() {
+        let desc = check_report(&v1_lint_doc()).expect("valid legacy report");
+        assert!(desc.contains("lint v1"), "{desc}");
+    }
+
+    #[test]
+    fn v1_migration_round_trips_through_the_validator() {
+        let v1 = v1_lint_doc();
+        let v2 = swque_lint::report::migrate_report(&v1).expect("migrates");
+        let desc = check_report(&v2).expect("migrated report validates as v2");
+        assert!(desc.contains("lint v2"), "{desc}");
+        // Same counts either way; only the schema and rule_class differ.
+        assert_eq!(v2.get("findings").unwrap().as_arr().unwrap().len(), 1);
+        let f = &v2.get("findings").unwrap().as_arr().unwrap()[0];
+        assert_eq!(f.get("rule_class").and_then(Json::as_str), Some("token"));
+    }
+
+    #[test]
+    fn rejects_v2_finding_without_rule_class() {
+        let doc = valid_lint_doc();
+        let stripped = Json::Arr(vec![Json::obj([
+            ("rule", Json::from("wall-clock")),
+            ("file", Json::from("x.rs")),
+            ("line", Json::from(1u64)),
+            ("col", Json::from(1u64)),
+            ("message", Json::from("m")),
+        ])]);
+        let err = check_report(&with(&doc, "findings", stripped)).unwrap_err();
+        assert!(err.starts_with("findings[0]:"), "{err}");
+        // A present-but-bogus class is named precisely.
+        let bogus = Json::Arr(vec![Json::obj([
+            ("rule", Json::from("wall-clock")),
+            ("rule_class", Json::from("vibes")),
+            ("file", Json::from("x.rs")),
+            ("line", Json::from(1u64)),
+            ("col", Json::from(1u64)),
+            ("message", Json::from("m")),
+        ])]);
+        let err = check_report(&with(&doc, "findings", bogus)).unwrap_err();
+        assert!(err.starts_with("findings[0].rule_class:"), "{err}");
     }
 
     #[test]

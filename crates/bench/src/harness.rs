@@ -200,7 +200,7 @@ fn sweep(kernels: &[Kernel], specs: &[RunSpec], traced: bool, workers: usize) ->
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = {
-                    let mut n = next.lock().expect("scheduler lock");
+                    let mut n = next.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                     let i = *n;
                     *n += 1;
                     i
@@ -220,14 +220,15 @@ fn sweep(kernels: &[Kernel], specs: &[RunSpec], traced: bool, workers: usize) ->
                         results.push(run_kernel(kernel, s));
                     }
                 }
-                rows.lock().expect("result lock")[i] =
+                rows.lock().unwrap_or_else(std::sync::PoisonError::into_inner)[i] =
                     Some(SuiteRow { kernel: kernel.clone(), results, traces });
             });
         }
     });
     rows.into_inner()
-        .expect("threads joined")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
+        // swque-lint: allow(panic-in-lib) — the worker loop claims every index in 0..kernels.len() exactly once before exiting
         .map(|r| r.expect("every kernel filled"))
         .collect()
 }
@@ -238,10 +239,11 @@ fn sweep(kernels: &[Kernel], specs: &[RunSpec], traced: bool, workers: usize) ->
 ///
 /// Panics if `values` is empty or contains non-positive entries.
 pub fn geomean(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "geomean of nothing");
+    assert!(!values.is_empty(), "geomean of nothing"); // swque-lint: allow(panic-in-lib) — documented `# Panics` precondition
     let log_sum: f64 = values
         .iter()
         .map(|&v| {
+            // swque-lint: allow(panic-in-lib) — documented `# Panics` precondition
             assert!(v > 0.0, "geomean requires positive values, got {v}");
             v.ln()
         })

@@ -132,6 +132,7 @@ impl Report {
         let Some(path) = json_path() else { return };
         let doc = format!("{}\n", self.to_json());
         std::fs::write(&path, doc)
+            // swque-lint: allow(panic-in-lib) — documented: a silently dropped report is worse than a failed run
             .unwrap_or_else(|e| panic!("SWQUE_JSON: cannot write {}: {e}", path.display()));
         eprintln!("[swque-bench] wrote {}", path.display());
     }

@@ -26,7 +26,7 @@ impl Btb {
     ///
     /// Panics if `num_sets` is not a power of two or `ways == 0`.
     pub fn new(num_sets: usize, ways: usize) -> Btb {
-        assert!(num_sets.is_power_of_two(), "BTB set count must be a power of two");
+        assert!(num_sets.is_power_of_two(), "BTB set count must be a power of two"); // swque-lint: allow(panic-in-lib) — documented `# Panics` precondition
         assert!(ways > 0, "BTB needs at least one way");
         Btb {
             sets: vec![vec![Way { tag: 0, target: 0, lru: 0, valid: false }; ways]; num_sets],
@@ -65,10 +65,9 @@ impl Btb {
             way.lru = clock;
             return;
         }
-        // Miss: fill an invalid way or evict LRU.
-        let victim = match set.iter_mut().find(|w| !w.valid) {
-            Some(w) => w,
-            None => set.iter_mut().min_by_key(|w| w.lru).expect("ways > 0"),
+        // Miss: fill an invalid way, else evict LRU (invalid sorts first).
+        let Some(victim) = set.iter_mut().min_by_key(|w| (w.valid, w.lru)) else {
+            return; // zero ways: nowhere to store the target
         };
         *victim = Way { tag: pc, target, lru: clock, valid: true };
     }

@@ -19,7 +19,7 @@ impl Gshare {
     ///
     /// Panics if `pht_entries` is not a power of two or `history_bits > 32`.
     pub fn new(history_bits: u32, pht_entries: usize) -> Gshare {
-        assert!(pht_entries.is_power_of_two(), "PHT size must be a power of two");
+        assert!(pht_entries.is_power_of_two(), "PHT size must be a power of two"); // swque-lint: allow(panic-in-lib) — documented `# Panics` precondition
         assert!(history_bits <= 32, "history length out of range");
         Gshare {
             history_bits,

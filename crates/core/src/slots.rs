@@ -92,7 +92,7 @@ pub struct SlotArray {
 impl SlotArray {
     /// Creates `capacity` empty slots.
     pub fn new(capacity: usize) -> SlotArray {
-        assert!(capacity > 0, "issue queue needs at least one entry");
+        assert!(capacity > 0, "issue queue needs at least one entry"); // swque-lint: allow(panic-in-lib) — construction-time size contract shared by every queue config
         SlotArray {
             slots: vec![Slot::EMPTY; capacity],
             len: 0,
@@ -167,7 +167,7 @@ impl SlotArray {
     /// Panics if the slot is already valid (the caller tracks free slots).
     pub fn insert(&mut self, pos: usize, req: DispatchReq, reverse: bool, bucket: u8) {
         let slot = &mut self.slots[pos];
-        assert!(!slot.valid, "dispatch into an occupied slot {pos}");
+        assert!(!slot.valid, "dispatch into an occupied slot {pos}"); // swque-lint: allow(panic-in-lib) — documented `# Panics` contract; overwriting a live entry would corrupt the queue silently
         *slot = Slot {
             valid: true,
             seq: req.seq,
@@ -196,7 +196,7 @@ impl SlotArray {
     /// Panics if the slot is not valid.
     pub fn remove(&mut self, pos: usize) {
         let slot = &mut self.slots[pos];
-        assert!(slot.valid, "remove of an empty slot {pos}");
+        assert!(slot.valid, "remove of an empty slot {pos}"); // swque-lint: allow(panic-in-lib) — documented `# Panics` contract; a double remove would desync the occupancy planes
         slot.valid = false;
         slot.pending_rv = false;
         slot.reverse = false;

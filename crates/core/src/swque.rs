@@ -223,6 +223,7 @@ impl IssueQueue for Swque {
                 retired: retired_insts,
                 mpki: metrics.mpki,
                 flpi: metrics.flpi,
+                // swque-lint: allow(panic-in-lib) — SWQUE only ever operates in the two traceable modes (CIRC-PC, AGE)
                 mode: interval_mode.trace().expect("SWQUE modes always trace"),
                 instability: self.controller.instability(),
                 switched,

@@ -239,7 +239,7 @@ impl Core {
         while self.retired < max_insts && !self.finished() {
             self.step_cycle();
             assert!(
-                self.cycle - self.last_retire_cycle < DEADLOCK_LIMIT,
+                self.cycle.saturating_sub(self.last_retire_cycle) < DEADLOCK_LIMIT,
                 "no retirement for {DEADLOCK_LIMIT} cycles at cycle {} (retired {}); \
                  pipeline wedged",
                 self.cycle,

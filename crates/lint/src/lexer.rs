@@ -282,7 +282,23 @@ fn lex_char(cx: &mut Cursor<'_>) -> TokKind {
     match cx.bump() {
         None | Some('\'') => return TokKind::Char,
         Some('\\') => {
-            cx.bump();
+            // `\u{…}` spans multiple characters; consuming only the `u`
+            // would leave `{…}'` behind and the trailing quote would eat
+            // the next real token (this desynced the parser's paren
+            // matching on `'\u{fffd}'`). Bounded by `}`/quote/newline so
+            // soup stays total.
+            if cx.peek(0) == Some('u') && cx.peek(1) == Some('{') {
+                cx.bump();
+                cx.bump();
+                while cx.peek(0).is_some_and(|c| c != '}' && c != '\'' && c != '\n') {
+                    cx.bump();
+                }
+                if cx.peek(0) == Some('}') {
+                    cx.bump();
+                }
+            } else {
+                cx.bump();
+            }
         }
         Some(_) => {}
     }
@@ -377,6 +393,17 @@ mod tests {
         assert!(toks.iter().any(|t| *t == (TokKind::Lifetime, "'a")));
         assert!(toks.iter().any(|t| *t == (TokKind::Char, "'x'")));
         assert!(toks.iter().any(|t| *t == (TokKind::Char, "'\\n'")));
+    }
+
+    #[test]
+    fn unicode_escape_chars_are_one_token() {
+        // Regression: `'\u{fffd}'` must not leave a stray trailing quote
+        // that swallows the next delimiter (it desynced paren matching in
+        // the parser on `unwrap_or('\u{fffd}'));`).
+        let toks = kinds("f('\\u{fffd}'); g()");
+        assert!(toks.iter().any(|t| *t == (TokKind::Char, "'\\u{fffd}'")), "{toks:?}");
+        assert_eq!(toks.iter().filter(|t| t.1 == ")").count(), 2, "{toks:?}");
+        assert!(toks.iter().any(|t| *t == (TokKind::Char, "'\\u{8}'") || t.1 == "g"));
     }
 
     #[test]

@@ -8,13 +8,17 @@
 //!
 //! * [`lexer`] — a minimal, total Rust lexer (comments, string/char/raw
 //!   literals, idents, punctuation) so rules see *code*, never prose.
-//! * [`rules`] — the token-stream rule engine with per-crate-class
+//! * [`parser`] — a total recursive-descent parser over the token stream
+//!   (items, blocks, expressions, method calls) giving rules structure:
+//!   what is iterated, what is cast, what is reachable from public API.
+//! * [`rules`] — the AST-visitor rule engine with per-crate-class
 //!   policies and reasoned `// swque-lint: allow(rule) — why` pragmas.
 //! * [`baseline`] — the committed per-rule ratchet (`lint-baseline.json`):
 //!   pre-existing debt is held exactly, new debt fails the build, paid-down
 //!   debt nags until the baseline is tightened.
-//! * [`report`] — the versioned `swque-lint-v1` JSON report consumed by
-//!   the `check_json` validator.
+//! * [`report`] — the versioned `swque-lint-v2` JSON report (findings
+//!   tagged with their `rule_class`) consumed by the `check_json`
+//!   validator, plus the v1→v2 migration shim for archived reports.
 //!
 //! The `swque-lint` binary (`src/main.rs`) drives a workspace scan;
 //! `scripts/verify.sh` runs it as a hard gate. The rule table, policy
@@ -26,6 +30,7 @@
 
 pub mod baseline;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 
@@ -161,7 +166,9 @@ mod tests {
         std::fs::create_dir_all(&src_dir).unwrap();
         std::fs::write(
             src_dir.join("bad.rs"),
-            "use std::collections::HashMap;\nfn t() { let _ = std::time::Instant::now(); }\n",
+            "use std::collections::HashMap;\n\
+             pub fn t(m: &HashMap<u64, u8>) -> usize { m.len() }\n\
+             fn u() { let _ = std::time::Instant::now(); }\n",
         )
         .unwrap();
         std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();

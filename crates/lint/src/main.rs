@@ -4,7 +4,8 @@
 //! swque-lint --workspace                 # gate the enclosing workspace
 //! swque-lint --root DIR                  # gate an explicit tree
 //! swque-lint --workspace --write-baseline  # tighten/record the ratchet
-//! SWQUE_JSON=lint.json swque-lint --workspace  # also emit swque-lint-v1
+//! swque-lint --explain RULE              # rationale + fixture example
+//! SWQUE_JSON=lint.json swque-lint --workspace  # also emit swque-lint-v2
 //! ```
 //!
 //! Exit codes: `0` clean (including ratchet slack, which nags on stderr),
@@ -16,6 +17,7 @@ use std::process::ExitCode;
 
 use swque_lint::baseline::{ratchet, Baseline};
 use swque_lint::report::report_json;
+use swque_lint::rules::{explain, RULES};
 use swque_lint::{find_workspace_root, scan_workspace};
 
 /// Parsed command line.
@@ -30,9 +32,28 @@ struct Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: swque-lint (--workspace | --root DIR) \
-         [--baseline FILE] [--write-baseline] [--json FILE]"
+         [--baseline FILE] [--write-baseline] [--json FILE]\n\
+         \x20      swque-lint --explain RULE"
     );
     ExitCode::from(2)
+}
+
+/// Handles `--explain RULE`: prints the rule's rationale (what it guards,
+/// a `bad:` example, a `fix:`) or, for an unknown rule, the rule list.
+fn run_explain(rule: &str) -> ExitCode {
+    match explain(rule) {
+        Some(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("swque-lint: unknown rule {rule:?}; known rules:");
+            for r in RULES {
+                eprintln!("  {r}");
+            }
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, ExitCode> {
@@ -46,6 +67,10 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--explain" => {
+                let Some(rule) = it.next() else { return Err(usage()) };
+                return Err(run_explain(&rule));
+            }
             "--workspace" => args.workspace = true,
             "--root" => args.root = Some(PathBuf::from(it.next().ok_or_else(usage)?)),
             "--baseline" => args.baseline = Some(PathBuf::from(it.next().ok_or_else(usage)?)),

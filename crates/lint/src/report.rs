@@ -1,36 +1,46 @@
-//! The versioned `swque-lint-v1` JSON report.
+//! The versioned `swque-lint-v2` JSON report.
 //!
 //! Shape (all keys always present, validated by the `check_json` binary in
 //! `swque-bench` and documented field-by-field in DESIGN.md §8):
 //!
 //! ```json
 //! {
-//!   "schema": "swque-lint-v1",
+//!   "schema": "swque-lint-v2",
 //!   "files_scanned": 123,
 //!   "suppressed": 2,
 //!   "status": "ok",
 //!   "rules": [ {"rule": "no-unsafe", "count": 0, "baseline": 0}, … ],
-//!   "findings": [ {"rule": "…", "file": "…", "line": 1, "col": 5,
-//!                  "message": "…"}, … ]
+//!   "findings": [ {"rule": "…", "rule_class": "token", "file": "…",
+//!                  "line": 1, "col": 5, "message": "…"}, … ]
 //! }
 //! ```
 //!
 //! `status` is `"ok"` when every rule is at or under its baseline and
 //! `"baseline-exceeded"` otherwise; `rules` lists every known rule in
 //! stable order with its current count and its baseline allowance.
+//!
+//! v2 differs from v1 in exactly one way: every finding carries a
+//! `rule_class` (`token`, `ast`, or `reachability` — see
+//! [`crate::rules::rule_class`]) naming the analysis layer that produced
+//! it. [`migrate_report`] lifts an archived v1 document to v2 by deriving
+//! the class from the rule name, so old reports stay consumable.
 
 use std::collections::BTreeMap;
 
 use swque_trace::Json;
 
 use crate::baseline::Baseline;
-use crate::rules::RULES;
+use crate::rules::{rule_class, RULES};
 use crate::Scan;
 
 /// Schema identifier written into every report.
-pub const LINT_SCHEMA: &str = "swque-lint-v1";
+pub const LINT_SCHEMA: &str = "swque-lint-v2";
 
-/// Serializes a scan plus its ratchet verdict as a `swque-lint-v1`
+/// The previous report schema, still accepted by consumers (findings lack
+/// `rule_class`).
+pub const LINT_SCHEMA_V1: &str = "swque-lint-v1";
+
+/// Serializes a scan plus its ratchet verdict as a `swque-lint-v2`
 /// document.
 pub fn report_json(scan: &Scan, counts: &BTreeMap<&'static str, u64>, baseline: &Baseline) -> Json {
     let ok = counts.iter().all(|(rule, &n)| n <= baseline.allowed(rule));
@@ -50,6 +60,7 @@ pub fn report_json(scan: &Scan, counts: &BTreeMap<&'static str, u64>, baseline: 
         .map(|f| {
             Json::obj([
                 ("rule", Json::from(f.rule)),
+                ("rule_class", Json::from(rule_class(f.rule))),
                 ("file", Json::from(f.file.as_str())),
                 ("line", Json::from(u64::from(f.line))),
                 ("col", Json::from(u64::from(f.col))),
@@ -65,6 +76,53 @@ pub fn report_json(scan: &Scan, counts: &BTreeMap<&'static str, u64>, baseline: 
         ("rules", Json::Arr(rules)),
         ("findings", Json::Arr(findings)),
     ])
+}
+
+/// Lifts a lint report to the current schema. A v2 document is returned
+/// unchanged; a v1 document gets its schema bumped and a `rule_class`
+/// derived from each finding's rule name (inserted directly after `rule`,
+/// preserving v2 key order). Anything else is an error.
+pub fn migrate_report(doc: &Json) -> Result<Json, String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(LINT_SCHEMA) => Ok(doc.clone()),
+        Some(LINT_SCHEMA_V1) => {
+            let Json::Obj(pairs) = doc else {
+                return Err("lint report is not an object".to_string());
+            };
+            let pairs = pairs
+                .iter()
+                .map(|(k, v)| {
+                    let v = match k.as_str() {
+                        "schema" => Json::from(LINT_SCHEMA),
+                        "findings" => {
+                            let arr = v.as_arr().unwrap_or(&[]);
+                            Json::Arr(arr.iter().map(migrate_finding).collect())
+                        }
+                        _ => v.clone(),
+                    };
+                    (k.clone(), v)
+                })
+                .collect();
+            Ok(Json::Obj(pairs))
+        }
+        other => Err(format!(
+            "lint report schema {other:?}, expected {LINT_SCHEMA:?} or {LINT_SCHEMA_V1:?}"
+        )),
+    }
+}
+
+/// Inserts the derived `rule_class` after `rule` in one v1 finding.
+fn migrate_finding(f: &Json) -> Json {
+    let Json::Obj(pairs) = f else { return f.clone() };
+    let class = f.get("rule").and_then(Json::as_str).map(rule_class).unwrap_or("token");
+    let mut out = Vec::with_capacity(pairs.len() + 1);
+    for (k, v) in pairs {
+        out.push((k.clone(), v.clone()));
+        if k == "rule" {
+            out.push(("rule_class".to_string(), Json::from(class)));
+        }
+    }
+    Json::Obj(out)
 }
 
 #[cfg(test)]
@@ -98,10 +156,40 @@ mod tests {
             assert_eq!(r.keys(), vec!["rule", "count", "baseline"]);
         }
         let findings = doc.get("findings").and_then(Json::as_arr).unwrap();
-        assert_eq!(findings[0].keys(), vec!["rule", "file", "line", "col", "message"]);
+        assert_eq!(
+            findings[0].keys(),
+            vec!["rule", "rule_class", "file", "line", "col", "message"]
+        );
+        assert_eq!(findings[0].get("rule_class").and_then(Json::as_str), Some("token"));
         // Round-trips through the in-tree parser.
         let back = Json::parse(&doc.to_string()).unwrap();
         assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn migrates_v1_to_v2_and_v2_is_identity() {
+        let v1 = Json::parse(
+            r#"{"schema":"swque-lint-v1","files_scanned":1,"suppressed":0,
+                "status":"baseline-exceeded",
+                "rules":[{"rule":"panic-in-lib","count":1,"baseline":0}],
+                "findings":[{"rule":"panic-in-lib","file":"crates/core/src/x.rs",
+                             "line":3,"col":5,"message":"m"}]}"#,
+        )
+        .unwrap();
+        let v2 = migrate_report(&v1).unwrap();
+        assert_eq!(v2.get("schema").and_then(Json::as_str), Some(LINT_SCHEMA));
+        let f = &v2.get("findings").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(
+            f.keys(),
+            vec!["rule", "rule_class", "file", "line", "col", "message"],
+            "rule_class lands directly after rule"
+        );
+        assert_eq!(f.get("rule_class").and_then(Json::as_str), Some("reachability"));
+        // Migration is idempotent: a v2 document passes through unchanged.
+        assert_eq!(migrate_report(&v2).unwrap(), v2);
+        // Unknown schemas are an error, not a silent pass-through.
+        let junk = Json::obj([("schema", Json::from("swque-lint-v0"))]);
+        assert!(migrate_report(&junk).unwrap_err().contains("schema"));
     }
 
     #[test]

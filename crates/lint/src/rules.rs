@@ -1,10 +1,13 @@
 //! The determinism/hermeticity rule engine.
 //!
-//! Rules run over the token stream from [`crate::lexer`] (so words inside
-//! comments and string literals never fire) with a per-file **policy**
-//! derived from the file's workspace path (see [`Policy`] and DESIGN.md §8
-//! for the crate-class matrix). Findings carry `file:line:col` diagnostics
-//! and can be suppressed with an explicit, reasoned pragma:
+//! Since PR 5 the engine is AST-driven: every file is parsed by
+//! [`crate::parser`] (a total recursive-descent pass over the
+//! [`crate::lexer`] token stream), so rules see *structure* — what is
+//! iterated, what is cast, which function a panic lives in — instead of
+//! token windows. Rules still honour a per-file **policy** derived from
+//! the file's workspace path (see [`Policy`] and DESIGN.md §8 for the
+//! crate-class matrix), and findings can be suppressed with an explicit,
+//! reasoned pragma:
 //!
 //! ```text
 //! // swque-lint: allow(env-read) — documented SWQUE_PROP_CASES knob
@@ -15,35 +18,77 @@
 //! A pragma with an unknown rule name or a missing reason is itself a
 //! finding (`malformed-pragma`): silent or unexplained suppressions are
 //! exactly what the tool exists to prevent.
+//!
+//! Rules come in three classes (reported per finding as `rule_class`):
+//!
+//! * **token** — pattern over the lexed token stream (wall-clock, env
+//!   reads, manifest hygiene). These predate the parser and need no
+//!   structure.
+//! * **ast** — judgement over parsed structure: is this `HashMap`
+//!   *iterated* or merely probed? Is this `as` cast *narrowing* a cycle
+//!   counter? Is the container part of the *public* API surface?
+//! * **reachability** — the `panic-in-lib` pass walks a call-graph-lite
+//!   over the file's functions and attributes every panic site to the
+//!   public item that reaches it, so the debt list reads as an API audit
+//!   rather than a grep dump.
 
 use crate::lexer::{lex, Tok, TokKind};
+use crate::parser::{
+    parse, walk_exprs, walk_items, Ast, Expr, ExprKind, ItemKind,
+};
 
 /// Every rule the analyzer knows, in report order.
 ///
 /// * `no-unsafe` — the `unsafe` keyword anywhere (the workspace is 100%
 ///   safe code and `#![forbid(unsafe_code)]` locks each crate root; this
 ///   rule catches the attribute being dropped).
-/// * `unordered-container` — `HashMap`/`HashSet` in the library code of
-///   the deterministic (simulated-path) crates; iteration order would leak
-///   host hash seeds into simulated behaviour.
-/// * `wall-clock` — `std::time` / `Instant` / `SystemTime` anywhere except
-///   the two sanctioned timing harness files.
+/// * `unordered-container` — a `HashMap`/`HashSet` that *escapes through
+///   the public API* of a deterministic crate (pub fn signature, pub
+///   field): local analysis cannot prove such a container is never
+///   iterated by a caller, so exposure itself is the hazard.
+/// * `iterated-unordered` — actual iteration (a `for` loop or an
+///   iterating method: `iter`, `keys`, `values`, `drain`, `retain`, …)
+///   of a binding, field, or parameter known to hold a `HashMap`/
+///   `HashSet` in a deterministic crate. This is the precise successor
+///   of PR-4's blanket mention rule: probing by key is fine, consuming
+///   in hash order is not.
+/// * `wall-clock` — `std::time` / `Instant` / `SystemTime` anywhere
+///   except the two sanctioned timing harness files.
 /// * `ambient-rng` — `thread_rng` / `from_entropy` / `rand::` paths; all
 ///   randomness must flow through the pinned in-tree `swque-rng`.
-/// * `panic-in-lib` — `.unwrap(` / `.expect(` / `panic!` in non-test,
-///   non-bin library code.
+/// * `panic-in-lib` — the panic family (`.unwrap(` / `.expect(` /
+///   `panic!` / `assert!` / `assert_eq!` / `assert_ne!` /
+///   `unreachable!` / `todo!` / `unimplemented!`) in non-test, non-bin
+///   library code, attributed to the nearest public item via the
+///   intra-file call graph. `debug_assert!` is exempt: it compiles out
+///   of the release binaries that produce the paper's numbers.
 /// * `env-read` — `std::env` outside the bench/bin harness layer.
+/// * `truncating-cast` — a narrowing `as` cast (`u8`/`u16`/`u32`/`i8`/
+///   `i16`/`i32` target) applied to a cycle/counter-named expression in
+///   a deterministic crate: silent truncation of a 64-bit counter is
+///   exactly the accounting bug that distorts IPC conclusions.
+/// * `unchecked-arith` — bare `-` between two counter-named operands in
+///   a deterministic crate; the workspace convention for counter deltas
+///   is `saturating_sub` (an underflow wraps to ~2^64 and poisons every
+///   statistic downstream).
+/// * `interior-mutability` — `Cell`/`RefCell`/`UnsafeCell` or
+///   `static mut` in a deterministic crate: hidden mutation channels
+///   defeat the "same inputs, same trace" audit.
 /// * `malformed-pragma` — a `swque-lint:` pragma that fails to parse.
 /// * `external-dep` — `rand`/`proptest`/`criterion` named in a manifest.
 /// * `registry-source` — a `source =` entry in `Cargo.lock` (the lockfile
 ///   must stay path-only for the offline build guarantee).
-pub const RULES: [&str; 9] = [
+pub const RULES: [&str; 13] = [
     "no-unsafe",
     "unordered-container",
+    "iterated-unordered",
     "wall-clock",
     "ambient-rng",
     "panic-in-lib",
     "env-read",
+    "truncating-cast",
+    "unchecked-arith",
+    "interior-mutability",
     "malformed-pragma",
     "external-dep",
     "registry-source",
@@ -52,6 +97,145 @@ pub const RULES: [&str; 9] = [
 /// True if `rule` is one of [`RULES`].
 pub fn is_known_rule(rule: &str) -> bool {
     RULES.contains(&rule)
+}
+
+/// The engine class a rule belongs to — carried per finding in the
+/// `swque-lint-v2` report as `rule_class`.
+pub fn rule_class(rule: &str) -> &'static str {
+    match rule {
+        "unordered-container" | "iterated-unordered" | "truncating-cast" | "unchecked-arith"
+        | "interior-mutability" => "ast",
+        "panic-in-lib" => "reachability",
+        _ => "token",
+    }
+}
+
+/// The rationale and a minimal bad/good example for a rule, as printed by
+/// `swque-lint --explain <rule>`. `None` for unknown rule names.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "no-unsafe" => {
+            "no-unsafe [token]\n\
+             The workspace is 100% safe Rust and every crate root carries\n\
+             #![forbid(unsafe_code)]; this rule catches the attribute being\n\
+             dropped or an `unsafe` block sneaking in through generated code.\n\
+             bad:  unsafe { *ptr }\n\
+             fix:  restructure with safe indexing, or don't."
+        }
+        "unordered-container" => {
+            "unordered-container [ast]\n\
+             A HashMap/HashSet exposed through the public API surface of a\n\
+             deterministic crate (pub fn parameter/return, pub field). A\n\
+             caller in another crate could iterate it, leaking the host hash\n\
+             seed into simulated behaviour — and intra-file analysis cannot\n\
+             see that caller. Private fields and locals are fine (the\n\
+             iterated-unordered rule watches those for actual iteration).\n\
+             bad:  pub fn pages(&self) -> &HashMap<u64, Page>\n\
+             fix:  return a BTreeMap, a sorted Vec, or a probe method."
+        }
+        "iterated-unordered" => {
+            "iterated-unordered [ast]\n\
+             Actual iteration of a HashMap/HashSet (for loop, .iter(),\n\
+             .keys(), .values(), .drain(), .retain(), …) in a deterministic\n\
+             crate. Iteration order depends on the host hash seed, so any\n\
+             simulated-path decision derived from it breaks the golden\n\
+             cycle pins. Probing by key is allowed — that is the point of\n\
+             the rule being AST-based.\n\
+             bad:  for (addr, page) in &self.pages { … }\n\
+             fix:  keep a sorted index, or collect-and-sort before use."
+        }
+        "wall-clock" => {
+            "wall-clock [token]\n\
+             std::time / Instant / SystemTime outside the two sanctioned\n\
+             harness files (crates/rng/src/timer.rs, perf_gate.rs). Reading\n\
+             the clock on the simulated path makes runs irreproducible.\n\
+             bad:  let t0 = std::time::Instant::now();\n\
+             fix:  count cycles/events, or use swque_rng::timer in harness code."
+        }
+        "ambient-rng" => {
+            "ambient-rng [token]\n\
+             thread_rng / from_entropy / rand:: paths tap host entropy; every\n\
+             stochastic choice must flow through the pinned swque-rng stream\n\
+             so a (kernel, parameters) pair names one trace forever.\n\
+             bad:  let x = rand::thread_rng().gen::<u64>();\n\
+             fix:  let x = rng.next_u64(); // swque_rng::Rng, seeded"
+        }
+        "panic-in-lib" => {
+            "panic-in-lib [reachability]\n\
+             The panic family (.unwrap(, .expect(, panic!, assert!,\n\
+             assert_eq!, assert_ne!, unreachable!, todo!, unimplemented!) in\n\
+             library code. Each finding is attributed to its enclosing\n\
+             function and, via the intra-file call graph, to the nearest\n\
+             public item that reaches it — so the debt reads as an API\n\
+             audit. debug_assert! is exempt (compiled out of release\n\
+             binaries). Burn down by bubbling a Result, saturating, or\n\
+             justifying the invariant with a reasoned pragma.\n\
+             bad:  pub fn ipc(&self) -> f64 { self.div().unwrap() }\n\
+             fix:  pub fn ipc(&self) -> Option<f64> { self.div() }"
+        }
+        "env-read" => {
+            "env-read [token]\n\
+             std::env outside the bench/bin harness layer. Environment knobs\n\
+             are config, and config flows in through constructors — a lib\n\
+             that reads the environment behaves differently per shell.\n\
+             bad:  let n = std::env::var(\"N\").unwrap();\n\
+             fix:  take `n` as a parameter; parse env in the bin."
+        }
+        "truncating-cast" => {
+            "truncating-cast [ast]\n\
+             A narrowing `as` cast (target u8/u16/u32/i8/i16/i32) applied to\n\
+             a cycle/counter-named expression in a deterministic crate.\n\
+             Counters are u64 by convention; `as u32` silently truncates\n\
+             after 4.2 billion cycles and the IPC numbers drift without a\n\
+             single test failing.\n\
+             bad:  let c = self.cycles as u32;\n\
+             fix:  keep u64, or use u32::try_from(cycles) at a checked edge."
+        }
+        "unchecked-arith" => {
+            "unchecked-arith [ast]\n\
+             Bare `-` between two counter-named operands in a deterministic\n\
+             crate. Counter deltas use saturating_sub by workspace\n\
+             convention: an underflow wraps to ~2^64 and poisons every\n\
+             derived statistic. Additions are exempt (u64 headroom).\n\
+             bad:  let delta = end_cycle - start_cycle;\n\
+             fix:  let delta = end_cycle.saturating_sub(start_cycle);"
+        }
+        "interior-mutability" => {
+            "interior-mutability [ast]\n\
+             Cell/RefCell/UnsafeCell or `static mut` in a deterministic\n\
+             crate. Interior mutability is a hidden write channel: state\n\
+             changes that don't appear in any &mut signature defeat the\n\
+             \"same inputs, same trace\" audit the whole evaluation rests on.\n\
+             bad:  stats: RefCell<Stats>\n\
+             fix:  take &mut self, or move the state to the caller."
+        }
+        "malformed-pragma" => {
+            "malformed-pragma [token]\n\
+             A `// swque-lint: …` comment that fails to parse — unknown rule\n\
+             name, missing parens, or missing reason. Silent or unexplained\n\
+             suppressions are what the tool exists to prevent, so a broken\n\
+             pragma is itself a finding rather than a silent no-op.\n\
+             bad:  // swque-lint: allow(wall-clock)\n\
+             fix:  // swque-lint: allow(wall-clock) — bench timer, documented"
+        }
+        "external-dep" => {
+            "external-dep [token]\n\
+             A manifest names rand/proptest/criterion. The workspace is\n\
+             hermetic: every dependency is an in-tree path crate, and the\n\
+             offline build on a clean machine is the CI-enforced path.\n\
+             bad:  [dev-dependencies] proptest = \"1\"\n\
+             fix:  use swque_rng::prop, the in-tree property harness."
+        }
+        "registry-source" => {
+            "registry-source [token]\n\
+             Cargo.lock contains a `source =` registry entry. The lockfile\n\
+             must stay path-only so `cargo build --offline` succeeds on a\n\
+             checkout with no network and no ~/.cargo cache.\n\
+             bad:  source = \"registry+https://github.com/rust-lang/crates.io-index\"\n\
+             fix:  remove the external dependency; vendor the code in-tree."
+        }
+        _ => return None,
+    })
 }
 
 /// One diagnostic: a rule fired at a source location.
@@ -84,7 +268,8 @@ pub struct Policy {
     /// File is a binary target (`src/bin/…` or `src/main.rs`): harness
     /// layer, may read the environment and panic.
     pub bin: bool,
-    /// Library code of a simulated-path crate: `HashMap`/`HashSet` banned.
+    /// Library code of a simulated-path crate: unordered containers,
+    /// narrowing counter casts, and interior mutability banned.
     pub deterministic: bool,
     /// Sanctioned wall-clock site (the bench timer and the perf gate).
     pub wall_clock_allowed: bool,
@@ -111,8 +296,7 @@ const WALL_CLOCK_FILES: [&str; 2] =
 /// separated, e.g. `crates/mem/src/hierarchy.rs`).
 pub fn classify(rel: &str) -> Policy {
     let segs: Vec<&str> = rel.split('/').collect();
-    let test_code =
-        segs.iter().any(|s| matches!(*s, "tests" | "benches" | "examples"));
+    let test_code = segs.iter().any(|s| matches!(*s, "tests" | "benches" | "examples"));
     let bin = rel.contains("src/bin/") || rel.ends_with("src/main.rs") || rel == "build.rs";
     let crate_name = if segs.first() == Some(&"crates") && segs.len() > 1 {
         segs[1]
@@ -120,10 +304,8 @@ pub fn classify(rel: &str) -> Policy {
         "swque" // the root facade crate
     };
     let in_src = segs.iter().any(|s| *s == "src");
-    let deterministic = DETERMINISTIC_CRATES.contains(&crate_name)
-        && in_src
-        && !test_code
-        && !bin;
+    let deterministic =
+        DETERMINISTIC_CRATES.contains(&crate_name) && in_src && !test_code && !bin;
     let wall_clock_allowed = WALL_CLOCK_FILES.contains(&rel);
     let env_allowed =
         crate_name == "bench" || bin || test_code || rel == "crates/rng/src/timer.rs";
@@ -200,108 +382,85 @@ fn collect_pragmas(toks: &[Tok<'_>], rel: &str) -> (Vec<Pragma>, Vec<Finding>) {
     (pragmas, findings)
 }
 
-/// Inclusive line ranges of `#[cfg(test)]` items (the conventional
-/// `mod tests { … }` blocks). Determinism rules do not apply inside: test
-/// code may use `HashMap` models, `unwrap`, and friends freely.
-fn test_regions(code: &[&Tok<'_>]) -> Vec<(u32, u32)> {
+/// True when `line` falls inside any of the inclusive `regions`.
+fn line_in(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| a <= line && line <= b)
+}
+
+/// Inclusive line ranges of `#[cfg(test)]` items, read off the AST.
+/// Determinism rules do not apply inside: test code may use `HashMap`
+/// models, `unwrap`, and friends freely.
+fn test_regions(ast: &Ast<'_>) -> Vec<(u32, u32)> {
     let mut regions = Vec::new();
-    let mut i = 0;
-    while i + 6 < code.len() {
-        let attr = ["#", "[", "cfg", "(", "test", ")", "]"];
-        if (0..7).all(|k| code[i + k].text == attr[k]) {
-            let start_line = code[i].line;
-            let mut j = i + 7;
-            // Skip any further attributes between cfg(test) and the item.
-            while j + 1 < code.len() && code[j].text == "#" && code[j + 1].text == "[" {
-                let mut depth = 0i32;
-                j += 1;
-                while j < code.len() {
-                    match code[j].text {
-                        "[" => depth += 1,
-                        "]" => {
-                            depth -= 1;
-                            if depth == 0 {
-                                j += 1;
-                                break;
-                            }
-                        }
-                        _ => {}
-                    }
-                    j += 1;
-                }
-            }
-            // The item body: first `{` brace-matched, or a `;` item.
-            while j < code.len() && code[j].text != "{" && code[j].text != ";" {
-                j += 1;
-            }
-            let mut end_line = code.get(j).map_or(start_line, |t| t.line);
-            if code.get(j).is_some_and(|t| t.text == "{") {
-                let mut depth = 0i32;
-                while j < code.len() {
-                    match code[j].text {
-                        "{" => depth += 1,
-                        "}" => {
-                            depth -= 1;
-                            if depth == 0 {
-                                end_line = code[j].line;
-                                break;
-                            }
-                        }
-                        _ => {}
-                    }
-                    j += 1;
-                }
-                if j == code.len() {
-                    end_line = code.last().map_or(start_line, |t| t.line);
-                }
-            }
-            regions.push((start_line, end_line));
-            i = j.max(i + 7);
-        } else {
-            i += 1;
+    walk_items(ast, &ast.items, false, &mut |item, in_test| {
+        if in_test {
+            let (start, _) = ast.pos(item.lo);
+            let end = item.hi.checked_sub(1).map_or(start, |i| ast.pos(i).0);
+            regions.push((start, end.max(start)));
         }
-    }
+    });
     regions
 }
 
-/// Scans one Rust source file. Returns the surviving findings plus the
-/// number of findings a pragma suppressed.
-pub fn scan_rust(rel: &str, src: &str) -> (Vec<Finding>, usize) {
-    let policy = classify(rel);
-    let toks = lex(src);
-    let (pragmas, mut findings) = collect_pragmas(&toks, rel);
-    let code: Vec<&Tok<'_>> = toks.iter().filter(|t| !t.is_comment()).collect();
-    let regions = test_regions(&code);
-    let in_test = |line: u32| regions.iter().any(|&(a, b)| a <= line && line <= b);
+/// The unordered container type names the container rules watch.
+fn is_unordered_ty(name: &str) -> bool {
+    matches!(name, "HashMap" | "HashSet")
+}
 
-    let text_at = |k: usize| code.get(k).map(|t| t.text);
-    let mut raw: Vec<Finding> = Vec::new();
+/// Methods that consume a container in iteration order.
+const ITER_METHODS: [&str; 10] = [
+    "iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "into_keys", "into_values",
+    "drain", "retain",
+];
+
+/// Idents that name cycle/instruction counters — the lexicon behind
+/// `truncating-cast` and `unchecked-arith`.
+fn counterish(name: &str) -> bool {
+    let l = name.to_ascii_lowercase();
+    ["cycle", "tick", "retired", "epoch", "insts", "instret"].iter().any(|k| l.contains(k))
+}
+
+/// Narrow integer type names for `truncating-cast`. `usize` is excluded:
+/// it is 64-bit on every supported target, so `u64 as usize` is not a
+/// truncation hazard there, and flagging it would bury the real signal.
+fn is_narrow_int(name: &str) -> bool {
+    matches!(name, "u8" | "u16" | "u32" | "i8" | "i16" | "i32")
+}
+
+/// The macro names of the panic family. `debug_assert*` is deliberately
+/// absent: it compiles out of release binaries, and the paper's numbers
+/// come from release builds.
+const PANIC_MACROS: [&str; 7] =
+    ["panic", "assert", "assert_eq", "assert_ne", "unreachable", "todo", "unimplemented"];
+
+// ---------------------------------------------------------------------------
+// Token-class rules.
+// ---------------------------------------------------------------------------
+
+/// The token-window rules: wall-clock, ambient RNG, env reads, `unsafe`,
+/// and interior-mutability type names. These need no structure beyond
+/// "is a code token" (plus the AST-derived cfg(test) regions).
+fn token_rules(
+    ast: &Ast<'_>,
+    policy: &Policy,
+    regions: &[(u32, u32)],
+    rel: &str,
+    out: &mut Vec<Finding>,
+) {
+    let text_at = |k: usize| ast.tok(k).map(|t| t.text);
     let mut push = |rule: &'static str, t: &Tok<'_>, message: String| {
-        raw.push(Finding { rule, file: rel.to_string(), line: t.line, col: t.col, message });
+        out.push(Finding { rule, file: rel.to_string(), line: t.line, col: t.col, message });
     };
-
-    for (i, t) in code.iter().enumerate() {
+    for (i, t) in ast.toks.iter().enumerate() {
         if t.kind != TokKind::Ident {
             continue;
         }
-        let prev = i.checked_sub(1).and_then(text_at);
         let next = text_at(i + 1);
         let next2 = text_at(i + 2);
         let next3 = text_at(i + 3);
         match t.text {
             "unsafe" => {
                 push("no-unsafe", t, "`unsafe` is banned workspace-wide".to_string());
-            }
-            "HashMap" | "HashSet" if policy.deterministic && !in_test(t.line) => {
-                push(
-                    "unordered-container",
-                    t,
-                    format!(
-                        "`{}` in a deterministic crate: iteration order depends on the \
-                         host hash seed; use BTreeMap/BTreeSet or an index-keyed Vec",
-                        t.text
-                    ),
-                );
             }
             "Instant" | "SystemTime" if !policy.wall_clock_allowed => {
                 push(
@@ -328,36 +487,489 @@ pub fn scan_rust(rel: &str, src: &str) -> (Vec<Finding>, usize) {
             "rand" if next == Some(":") && next2 == Some(":") => {
                 push("ambient-rng", t, "`rand::` path: the workspace PRNG is swque-rng".into());
             }
-            "unwrap" | "expect"
-                if policy.lib_code
-                    && !in_test(t.line)
-                    && prev == Some(".")
-                    && next == Some("(") =>
-            {
-                push(
-                    "panic-in-lib",
-                    t,
-                    format!("`.{}(` in library code; bubble a Result or document the invariant", t.text),
-                );
-            }
-            "panic" if policy.lib_code && !in_test(t.line) && next == Some("!") => {
-                push("panic-in-lib", t, "`panic!` in library code".to_string());
-            }
             "std"
                 if !policy.env_allowed
-                    && !in_test(t.line)
+                    && !line_in(regions, t.line)
                     && next == Some(":")
                     && next2 == Some(":")
                     && next3 == Some("env") =>
             {
+                push("env-read", t, "`std::env` outside the bench/bin harness layer".to_string());
+            }
+            "Cell" | "RefCell" | "UnsafeCell"
+                if policy.deterministic && !line_in(regions, t.line) =>
+            {
                 push(
-                    "env-read",
+                    "interior-mutability",
                     t,
-                    "`std::env` outside the bench/bin harness layer".to_string(),
+                    format!(
+                        "`{}` in a deterministic crate: hidden write channels defeat the \
+                         same-inputs-same-trace audit",
+                        t.text
+                    ),
                 );
             }
             _ => {}
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AST-class rules.
+// ---------------------------------------------------------------------------
+
+/// Scans back from token `at` to the nearest field/param boundary (`,`,
+/// `{`, `(`, `|`) after `lo`; returns the tokens of that segment as
+/// `(index, text)` pairs up to and including `at`.
+fn segment_before<'a>(ast: &Ast<'a>, lo: usize, at: usize) -> Vec<(usize, &'a str)> {
+    let mut start = at;
+    while start > lo {
+        let prev = ast.text(start - 1);
+        if matches!(prev, "," | "{" | "(" | "|" | ";") {
+            break;
+        }
+        start -= 1;
+    }
+    (start..=at).map(|i| (i, ast.text(i))).collect()
+}
+
+/// The declared name of the field/param whose type mentions token `at`:
+/// the ident directly before the first `:` of the segment.
+fn segment_name<'a>(ast: &Ast<'a>, lo: usize, at: usize) -> Option<&'a str> {
+    let seg = segment_before(ast, lo, at);
+    seg.windows(2).find_map(|w| {
+        let ((i, name), (_, colon)) = (w[0], w[1]);
+        let is_ident = ast.tok(i).is_some_and(|t| t.kind == TokKind::Ident);
+        (is_ident && colon == ":").then_some(name)
+    })
+}
+
+/// True when the field/param segment holding token `at` carries `pub`.
+fn segment_is_pub(ast: &Ast<'_>, lo: usize, at: usize) -> bool {
+    segment_before(ast, lo, at).iter().any(|&(_, s)| s == "pub")
+}
+
+/// The "iteration root" of an expression: the name token a container
+/// lookup resolves against. `&self.pages` → `pages`; `(m)` → `m`;
+/// `map` → `map`. `None` when the expression has no stable name.
+fn iter_root(e: &Expr) -> Option<usize> {
+    match &e.kind {
+        ExprKind::Path(segs) => segs.last().copied(),
+        ExprKind::Field { name, .. } => Some(*name),
+        ExprKind::Unary { expr } => iter_root(expr),
+        ExprKind::Group { exprs } if exprs.len() == 1 => iter_root(&exprs[0]),
+        _ => None,
+    }
+}
+
+/// The container rules plus cast/arith rules — everything that needs the
+/// parse tree. Only called for deterministic-crate files.
+fn ast_rules(ast: &Ast<'_>, rel: &str, out: &mut Vec<Finding>) {
+    // Pass 1: every name known to hold an unordered container — private
+    // fields, fn params, and let-bindings (by type annotation or by a
+    // `HashMap::…`/`HashSet::…` constructor initializer).
+    let mut unordered_names: Vec<String> = Vec::new();
+    let mut record = |name: &str| {
+        if !name.is_empty() && !unordered_names.iter().any(|n| n == name) {
+            unordered_names.push(name.to_string());
+        }
+    };
+    walk_items(ast, &ast.items, false, &mut |item, in_test| {
+        if in_test {
+            return;
+        }
+        match &item.kind {
+            ItemKind::Adt { .. } => {
+                for i in item.lo..item.hi {
+                    if is_unordered_ty(ast.text(i)) {
+                        if let Some(name) = segment_name(ast, item.lo, i) {
+                            record(name);
+                        }
+                    }
+                }
+            }
+            ItemKind::Fn { sig, .. } => {
+                for i in sig.0..sig.1 {
+                    if is_unordered_ty(ast.text(i)) {
+                        if let Some(name) = segment_name(ast, sig.0, i) {
+                            record(name);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    });
+    walk_exprs(ast, &ast.items, &mut |e, cx| {
+        if cx.in_cfg_test {
+            return;
+        }
+        if let ExprKind::Let { name: Some(n), ty, init } = &e.kind {
+            let ty_unordered = ty
+                .map(|(a, b)| (a..b).any(|i| is_unordered_ty(ast.text(i))))
+                .unwrap_or(false);
+            let init_unordered = init.as_deref().is_some_and(|init| {
+                let root = match &init.kind {
+                    ExprKind::Call { callee, .. } => callee,
+                    _ => init,
+                };
+                matches!(&root.kind, ExprKind::Path(segs)
+                    if segs.iter().any(|&s| is_unordered_ty(ast.text(s))))
+            });
+            if ty_unordered || init_unordered {
+                let name = ast.text(*n).to_string();
+                if !name.is_empty() && !unordered_names.iter().any(|x| *x == name) {
+                    unordered_names.push(name);
+                }
+            }
+        }
+    });
+
+    // Pass 2a: public-API escape (`unordered-container`). A pub fn whose
+    // signature mentions the type, a pub field of a pub struct, or any
+    // variant of a pub enum: a caller outside this file could iterate it.
+    walk_items(ast, &ast.items, false, &mut |item, in_test| {
+        if in_test || !item.vis_pub {
+            return;
+        }
+        let mut fire = |i: usize, surface: &str| {
+            let (line, col) = ast.pos(i);
+            out.push(Finding {
+                rule: "unordered-container",
+                file: rel.to_string(),
+                line,
+                col,
+                message: format!(
+                    "`{}` escapes through a public {surface} in a deterministic crate: a \
+                     caller could iterate it in host hash order; expose a BTreeMap/BTreeSet, \
+                     a sorted Vec, or a probe method instead",
+                    ast.text(i)
+                ),
+            });
+        };
+        match &item.kind {
+            ItemKind::Fn { sig, .. } => {
+                for i in sig.0..sig.1 {
+                    if is_unordered_ty(ast.text(i)) {
+                        fire(i, "fn signature");
+                    }
+                }
+            }
+            ItemKind::Adt { .. } => {
+                let is_enum = (item.lo..item.hi).any(|i| ast.text(i) == "enum");
+                for i in item.lo..item.hi {
+                    if is_unordered_ty(ast.text(i))
+                        && (is_enum || segment_is_pub(ast, item.lo, i))
+                    {
+                        fire(i, if is_enum { "enum variant" } else { "struct field" });
+                    }
+                }
+            }
+            _ => {}
+        }
+    });
+
+    // Pass 2b: expression rules — iteration, narrowing casts, bare
+    // counter subtraction.
+    walk_exprs(ast, &ast.items, &mut |e, cx| {
+        if cx.in_cfg_test {
+            return;
+        }
+        match &e.kind {
+            ExprKind::For { iter, .. } => {
+                if let Some(root) = iter_root(iter) {
+                    if unordered_names.iter().any(|n| n == ast.text(root)) {
+                        let (line, col) = ast.pos(root);
+                        out.push(Finding {
+                            rule: "iterated-unordered",
+                            file: rel.to_string(),
+                            line,
+                            col,
+                            message: format!(
+                                "`for` loop iterates `{}` (a HashMap/HashSet) in a \
+                                 deterministic crate: iteration order depends on the host \
+                                 hash seed",
+                                ast.text(root)
+                            ),
+                        });
+                    }
+                }
+            }
+            ExprKind::MethodCall { recv, name, .. }
+                if ITER_METHODS.contains(&ast.text(*name)) =>
+            {
+                if let Some(root) = iter_root(recv) {
+                    if unordered_names.iter().any(|n| n == ast.text(root)) {
+                        let (line, col) = ast.pos(*name);
+                        out.push(Finding {
+                            rule: "iterated-unordered",
+                            file: rel.to_string(),
+                            line,
+                            col,
+                            message: format!(
+                                "`.{}()` consumes `{}` (a HashMap/HashSet) in iteration \
+                                 order in a deterministic crate",
+                                ast.text(*name),
+                                ast.text(root)
+                            ),
+                        });
+                    }
+                }
+            }
+            ExprKind::Cast { expr, ty } => {
+                let narrow = (ty.0..ty.1).find(|&i| is_narrow_int(ast.text(i)));
+                let counter = (expr.lo..expr.hi).find(|&i| {
+                    ast.tok(i).is_some_and(|t| t.kind == TokKind::Ident)
+                        && counterish(ast.text(i))
+                });
+                if let (Some(ty_tok), Some(src_tok)) = (narrow, counter) {
+                    let (line, col) = ast.pos(expr.lo);
+                    out.push(Finding {
+                        rule: "truncating-cast",
+                        file: rel.to_string(),
+                        line,
+                        col,
+                        message: format!(
+                            "`{} as {}` narrows a counter-typed expression in a \
+                             deterministic crate; keep u64 or use try_from at a checked edge",
+                            ast.text(src_tok),
+                            ast.text(ty_tok)
+                        ),
+                    });
+                }
+            }
+            ExprKind::Binary { op: "-", op_tok, lhs, rhs } => {
+                let counter_leaf = |side: &Expr| {
+                    (side.lo..side.hi).any(|i| {
+                        ast.tok(i).is_some_and(|t| t.kind == TokKind::Ident)
+                            && counterish(ast.text(i))
+                    })
+                };
+                if counter_leaf(lhs) && counter_leaf(rhs) {
+                    let (line, col) = ast.pos(*op_tok);
+                    out.push(Finding {
+                        rule: "unchecked-arith",
+                        file: rel.to_string(),
+                        line,
+                        col,
+                        message: "bare `-` between counters in a deterministic crate; the \
+                                  workspace convention for counter deltas is `saturating_sub`"
+                            .to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    });
+
+    // `static mut` — the item-level half of interior-mutability.
+    walk_items(ast, &ast.items, false, &mut |item, in_test| {
+        if in_test {
+            return;
+        }
+        if let ItemKind::Static { mutable: true } = item.kind {
+            let (line, col) = ast.pos(item.lo);
+            out.push(Finding {
+                rule: "interior-mutability",
+                file: rel.to_string(),
+                line,
+                col,
+                message: "`static mut` in a deterministic crate".to_string(),
+            });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// The panic-reachability pass.
+// ---------------------------------------------------------------------------
+
+/// One function the reachability pass knows about.
+struct FnInfo<'a> {
+    name: &'a str,
+    vis_pub: bool,
+    lo: usize,
+    hi: usize,
+    line: u32,
+}
+
+/// Collects every `fn` item (at any nesting depth) with its token range.
+fn collect_fns<'a>(ast: &Ast<'a>) -> Vec<FnInfo<'a>> {
+    let mut fns = Vec::new();
+    walk_items(ast, &ast.items, false, &mut |item, _| {
+        if let ItemKind::Fn { name, .. } = item.kind {
+            fns.push(FnInfo {
+                name: ast.text(name),
+                vis_pub: item.vis_pub,
+                lo: item.lo,
+                hi: item.hi,
+                line: ast.pos(item.lo).0,
+            });
+        }
+    });
+    fns
+}
+
+/// The innermost function whose token range contains `tok_idx`.
+fn enclosing_fn(fns: &[FnInfo<'_>], tok_idx: usize) -> Option<usize> {
+    fns.iter()
+        .enumerate()
+        .filter(|(_, f)| f.lo <= tok_idx && tok_idx < f.hi)
+        .max_by_key(|(_, f)| f.lo)
+        .map(|(i, _)| i)
+}
+
+/// `callers[g]` = indices of functions whose body mentions `fns[g].name`.
+/// Name-based ("call-graph-lite"): `self.g()`, `g(x)`, and `Self::g`
+/// all count; same-named methods across impls merge.
+fn caller_edges(ast: &Ast<'_>, fns: &[FnInfo<'_>]) -> Vec<Vec<usize>> {
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+    for (f_idx, f) in fns.iter().enumerate() {
+        for i in f.lo..f.hi {
+            let Some(t) = ast.tok(i) else { continue };
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            for (g_idx, g) in fns.iter().enumerate() {
+                if g_idx == f_idx || t.text != g.name {
+                    continue;
+                }
+                // Skip the callee's own definition site.
+                if g.lo <= i && i < g.hi {
+                    continue;
+                }
+                if !callers[g_idx].contains(&f_idx) {
+                    callers[g_idx].push(f_idx);
+                }
+            }
+        }
+    }
+    callers
+}
+
+/// BFS from `start` backwards over `callers` to the nearest `pub fn`;
+/// returns the chain `[pub, …, start]` of fn indices when one exists.
+fn path_to_pub(fns: &[FnInfo<'_>], callers: &[Vec<usize>], start: usize) -> Option<Vec<usize>> {
+    if fns[start].vis_pub {
+        return Some(vec![start]);
+    }
+    let mut parent: Vec<Option<usize>> = vec![None; fns.len()];
+    let mut seen = vec![false; fns.len()];
+    let mut queue = std::collections::VecDeque::new();
+    seen[start] = true;
+    queue.push_back(start);
+    while let Some(x) = queue.pop_front() {
+        for &c in &callers[x] {
+            if seen[c] {
+                continue;
+            }
+            seen[c] = true;
+            parent[c] = Some(x);
+            if fns[c].vis_pub {
+                return Some(reconstruct(&parent, start, c));
+            }
+            queue.push_back(c);
+        }
+    }
+    None
+}
+
+/// Chain from `pub_fn` down to `start` following the BFS parents.
+fn reconstruct(parent: &[Option<usize>], start: usize, pub_fn: usize) -> Vec<usize> {
+    let mut chain = vec![pub_fn];
+    let mut cur = pub_fn;
+    while cur != start {
+        match parent[cur] {
+            Some(p) => {
+                chain.push(p);
+                cur = p;
+            }
+            None => break,
+        }
+    }
+    chain
+}
+
+/// The panic-family pass: find every site over the token stream (exact
+/// parity with the PR-4 token rule, so no site is lost to a parse
+/// degradation), then attribute each to its enclosing function and the
+/// nearest public item via the intra-file call graph.
+fn panic_rules(
+    ast: &Ast<'_>,
+    regions: &[(u32, u32)],
+    rel: &str,
+    out: &mut Vec<Finding>,
+) {
+    let fns = collect_fns(ast);
+    let callers = caller_edges(ast, &fns);
+    let text_at = |k: usize| ast.tok(k).map(|t| t.text);
+    for (i, t) in ast.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || line_in(regions, t.line) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(text_at);
+        let next = text_at(i + 1);
+        let what = match t.text {
+            "unwrap" | "expect" if prev == Some(".") && next == Some("(") => {
+                format!("`.{}(`", t.text)
+            }
+            m if PANIC_MACROS.contains(&m) && next == Some("!") => format!("`{m}!`"),
+            _ => continue,
+        };
+        let attribution = match enclosing_fn(&fns, i) {
+            None => " at module scope".to_string(),
+            Some(e) => match path_to_pub(&fns, &callers, e) {
+                Some(chain) if chain.len() == 1 => {
+                    format!(" in pub fn `{}`", fns[e].name)
+                }
+                Some(chain) => {
+                    let hops: Vec<String> = chain
+                        .iter()
+                        .map(|&f| format!("{}:{}", fns[f].name, fns[f].line))
+                        .collect();
+                    format!(
+                        " in `{}`, reachable from pub fn `{}` via {}",
+                        fns[e].name,
+                        fns[chain[0]].name,
+                        hops.join(" → ")
+                    )
+                }
+                None => format!(" in `{}` (no public caller found in this file)", fns[e].name),
+            },
+        };
+        out.push(Finding {
+            rule: "panic-in-lib",
+            file: rel.to_string(),
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "{what} in library code{attribution}; bubble a Result, saturate, or justify \
+                 the invariant with a pragma"
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File entry points.
+// ---------------------------------------------------------------------------
+
+/// Scans one Rust source file. Returns the surviving findings plus the
+/// number of findings a pragma suppressed.
+pub fn scan_rust(rel: &str, src: &str) -> (Vec<Finding>, usize) {
+    let policy = classify(rel);
+    let raw_toks = lex(src);
+    let (pragmas, mut findings) = collect_pragmas(&raw_toks, rel);
+    let ast = parse(src);
+    let regions = test_regions(&ast);
+
+    let mut raw: Vec<Finding> = Vec::new();
+    token_rules(&ast, &policy, &regions, rel, &mut raw);
+    if policy.deterministic {
+        ast_rules(&ast, rel, &mut raw);
+    }
+    if policy.lib_code {
+        panic_rules(&ast, &regions, rel, &mut raw);
     }
 
     // One finding per (rule, line): a `use std::time::Instant` should read
@@ -368,8 +980,7 @@ pub fn scan_rust(rel: &str, src: &str) -> (Vec<Finding>, usize) {
     let mut suppressed = 0usize;
     for f in raw {
         let allowed = pragmas.iter().any(|p| {
-            (p.line == f.line || p.line + 1 == f.line)
-                && p.rules.iter().any(|r| r == f.rule)
+            (p.line == f.line || p.line + 1 == f.line) && p.rules.iter().any(|r| r == f.rule)
         });
         if allowed {
             suppressed += 1;
@@ -428,6 +1039,10 @@ pub fn scan_manifest(rel: &str, src: &str) -> Vec<Finding> {
 mod tests {
     use super::*;
 
+    fn rules_fired(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
     #[test]
     fn classify_matrix() {
         let det = classify("crates/mem/src/hierarchy.rs");
@@ -449,8 +1064,25 @@ mod tests {
     }
 
     #[test]
+    fn every_rule_has_a_class_and_an_explanation() {
+        for rule in RULES {
+            assert!(
+                matches!(rule_class(rule), "token" | "ast" | "reachability"),
+                "{rule}: bad class"
+            );
+            let text = explain(rule).unwrap_or_else(|| panic!("{rule}: no explanation"));
+            assert!(text.starts_with(rule), "{rule}: explanation must lead with the rule name");
+            assert!(text.contains("bad:") && text.contains("fix:"), "{rule}: needs an example");
+        }
+        assert!(explain("not-a-rule").is_none());
+        assert_eq!(rule_class("panic-in-lib"), "reachability");
+        assert_eq!(rule_class("iterated-unordered"), "ast");
+        assert_eq!(rule_class("wall-clock"), "token");
+    }
+
+    #[test]
     fn cfg_test_regions_are_exempt() {
-        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); }\n}\n";
         let (findings, _) = scan_rust("crates/core/src/x.rs", src);
         assert!(findings.is_empty(), "{findings:?}");
     }
@@ -469,8 +1101,7 @@ mod tests {
         let (f, s) = scan_rust("crates/core/src/x.rs", above);
         assert!(f.is_empty(), "{f:?}");
         assert_eq!(s, 1);
-        let trailing =
-            "use std::time::Instant; // swque-lint: allow(wall-clock) — fixture\n";
+        let trailing = "use std::time::Instant; // swque-lint: allow(wall-clock) — fixture\n";
         let (f, s) = scan_rust("crates/core/src/x.rs", trailing);
         assert!(f.is_empty(), "{f:?}");
         assert_eq!(s, 1);
@@ -499,6 +1130,123 @@ mod tests {
     }
 
     #[test]
+    fn probed_private_hashmap_is_clean() {
+        // The PR-4 engine flagged every mention; the AST engine only flags
+        // public escape or actual iteration. A probed private field is the
+        // legitimate use the old rule punished.
+        let src = "use std::collections::HashMap;\n\
+                   struct M { pages: HashMap<u64, u8> }\n\
+                   impl M {\n\
+                       fn read(&self, a: u64) -> Option<u8> { self.pages.get(&a).copied() }\n\
+                   }\n";
+        let (f, _) = scan_rust("crates/isa/src/x.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn pub_escape_fires_unordered_container() {
+        let sig = "use std::collections::HashMap;\n\
+                   pub fn dump(m: &HashMap<u64, u8>) -> usize { m.len() }\n";
+        let (f, _) = scan_rust("crates/isa/src/x.rs", sig);
+        assert_eq!(rules_fired(&f), ["unordered-container"], "{f:?}");
+        let field = "use std::collections::HashMap;\n\
+                     pub struct M { pub pages: HashMap<u64, u8> }\n";
+        let (f, _) = scan_rust("crates/isa/src/x.rs", field);
+        assert_eq!(rules_fired(&f), ["unordered-container"], "{f:?}");
+        // Private field of a pub struct: no escape.
+        let private = "use std::collections::HashMap;\n\
+                       pub struct M { pages: HashMap<u64, u8> }\n";
+        let (f, _) = scan_rust("crates/isa/src/x.rs", private);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn iteration_fires_iterated_unordered() {
+        let m = "use std::collections::HashMap;\n\
+                 struct M { pages: HashMap<u64, u8> }\n\
+                 impl M {\n\
+                     fn sum(&self) -> u64 { let mut s = 0; for v in self.pages.values() { s += u64::from(*v); } s }\n\
+                 }\n";
+        let (f, _) = scan_rust("crates/isa/src/x.rs", m);
+        assert_eq!(rules_fired(&f), ["iterated-unordered"], "{f:?}");
+        let local = "fn f() {\n\
+                     let m = std::collections::HashMap::new();\n\
+                     for (k, v) in &m { drop((k, v)); }\n\
+                     }\n";
+        let (f, _) = scan_rust("crates/core/src/x.rs", local);
+        assert_eq!(rules_fired(&f), ["iterated-unordered"], "{f:?}");
+    }
+
+    #[test]
+    fn truncating_cast_fires_on_counters_only() {
+        let bad = "fn f(cycles: u64) -> u32 { cycles as u32 }\n";
+        let (f, _) = scan_rust("crates/cpu/src/x.rs", bad);
+        assert_eq!(rules_fired(&f), ["truncating-cast"], "{f:?}");
+        // Widening, or a non-counter name: clean.
+        let ok = "fn f(cycles: u32) -> u64 { cycles as u64 }\nfn g(mask: u64) -> u8 { mask as u8 }\n";
+        let (f, _) = scan_rust("crates/cpu/src/x.rs", ok);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unchecked_arith_fires_on_counter_subtraction() {
+        let bad = "fn f(end_cycle: u64, start_cycle: u64) -> u64 { end_cycle - start_cycle }\n";
+        let (f, _) = scan_rust("crates/cpu/src/x.rs", bad);
+        assert_eq!(rules_fired(&f), ["unchecked-arith"], "{f:?}");
+        let ok = "fn f(end_cycle: u64, start_cycle: u64) -> u64 { end_cycle.saturating_sub(start_cycle) }\n\
+                  fn g(hi: u64, lo: u64) -> u64 { hi - lo }\n";
+        let (f, _) = scan_rust("crates/cpu/src/x.rs", ok);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn interior_mutability_fires_in_deterministic_crates_only() {
+        let bad = "use std::cell::RefCell;\nstruct S { x: RefCell<u64> }\n";
+        let (f, _) = scan_rust("crates/core/src/x.rs", bad);
+        assert!(rules_fired(&f).iter().all(|&r| r == "interior-mutability"), "{f:?}");
+        assert!(!f.is_empty());
+        // The lint crate itself is not deterministic-class.
+        let (f, _) = scan_rust("crates/lint/src/x.rs", bad);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn panic_reachability_names_the_public_entry() {
+        let src = "fn inner(x: Option<u64>) -> u64 { x.unwrap() }\n\
+                   fn mid(x: Option<u64>) -> u64 { inner(x) }\n\
+                   pub fn entry(x: Option<u64>) -> u64 { mid(x) }\n";
+        let (f, _) = scan_rust("crates/cpu/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "panic-in-lib");
+        assert!(f[0].message.contains("reachable from pub fn `entry`"), "{}", f[0].message);
+        assert!(f[0].message.contains("entry:3"), "{}", f[0].message);
+        assert!(f[0].message.contains("inner"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn panic_in_pub_fn_and_unreachable_fn_are_labelled() {
+        let direct = "pub fn f(x: Option<u64>) -> u64 { x.expect(\"set\") }\n";
+        let (f, _) = scan_rust("crates/cpu/src/x.rs", direct);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("in pub fn `f`"), "{}", f[0].message);
+        let dead = "fn orphan() { panic!(\"boom\") }\n";
+        let (f, _) = scan_rust("crates/cpu/src/x.rs", dead);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("no public caller"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn assert_family_counts_but_debug_assert_does_not() {
+        let src = "pub fn f(a: u64, b: u64) {\n\
+                       assert_eq!(a, b);\n\
+                       debug_assert!(a <= b);\n\
+                   }\n";
+        let (f, _) = scan_rust("crates/cpu/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`assert_eq!`"), "{}", f[0].message);
+    }
+
+    #[test]
     fn manifest_rules_fire_with_word_boundary() {
         let toml = "[dependencies]\nrandomize = \"1\"\nrand = \"0.8\"\n";
         let f = scan_manifest("crates/x/Cargo.toml", toml);
@@ -513,9 +1261,9 @@ mod tests {
     #[test]
     fn malformed_pragmas_are_findings() {
         for src in [
-            "// swque-lint: allow(wall-clock)\n",      // no reason
-            "// swque-lint: allow(not-a-rule) — x\n",  // unknown rule
-            "// swque-lint: allow wall-clock — x\n",   // no parens
+            "// swque-lint: allow(wall-clock)\n",     // no reason
+            "// swque-lint: allow(not-a-rule) — x\n", // unknown rule
+            "// swque-lint: allow wall-clock — x\n",  // no parens
         ] {
             let (f, _) = scan_rust("crates/core/src/x.rs", src);
             assert_eq!(f.len(), 1, "{src:?} -> {f:?}");

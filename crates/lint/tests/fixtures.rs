@@ -43,15 +43,78 @@ fn fixture_no_unsafe() {
 
 #[test]
 fn fixture_unordered_container() {
+    // The rule fires on the *public-API escape*, not on a bare `use`: a
+    // lookup-only private map is fine, a pub signature a caller could
+    // iterate is not.
     assert_rule(
         "unordered-container",
         "crates/cpu/src/fixture.rs",
-        "use std::collections::HashMap;\n",
-        "// swque-lint: allow(unordered-container) — fixture: lookup-only map\n\
-         use std::collections::HashMap;\n",
+        "use std::collections::HashMap;\n\
+         pub fn t(m: &HashMap<u64, u8>) -> usize { m.len() }\n",
+        "use std::collections::HashMap;\n\
+         // swque-lint: allow(unordered-container) — fixture: lookup-only map\n\
+         pub fn t(m: &HashMap<u64, u8>) -> usize { m.len() }\n",
+        2,
+        14,
+        "escapes through a public fn signature",
+    );
+}
+
+#[test]
+fn fixture_iterated_unordered() {
+    assert_rule(
+        "iterated-unordered",
+        "crates/cpu/src/fixture.rs",
+        "use std::collections::HashMap;\n\
+         fn f(m: &HashMap<u64, u8>) { for k in m.keys() { let _ = k; } }\n",
+        "use std::collections::HashMap;\n\
+         // swque-lint: allow(iterated-unordered) — fixture: order-insensitive fold\n\
+         fn f(m: &HashMap<u64, u8>) { for k in m.keys() { let _ = k; } }\n",
+        2,
+        41,
+        "iteration order",
+    );
+}
+
+#[test]
+fn fixture_truncating_cast() {
+    assert_rule(
+        "truncating-cast",
+        "crates/core/src/fixture.rs",
+        "fn f(cycle: u64) -> u32 { cycle as u32 }\n",
+        "// swque-lint: allow(truncating-cast) — fixture: bounded by construction\n\
+         fn f(cycle: u64) -> u32 { cycle as u32 }\n",
         1,
-        23,
-        "iteration order depends on the host hash seed",
+        27,
+        "narrows a counter-typed expression",
+    );
+}
+
+#[test]
+fn fixture_unchecked_arith() {
+    assert_rule(
+        "unchecked-arith",
+        "crates/core/src/fixture.rs",
+        "fn f(cycle: u64, tick: u64) -> u64 { cycle - tick }\n",
+        "// swque-lint: allow(unchecked-arith) — fixture: tick <= cycle by construction\n\
+         fn f(cycle: u64, tick: u64) -> u64 { cycle - tick }\n",
+        1,
+        44,
+        "saturating_sub",
+    );
+}
+
+#[test]
+fn fixture_interior_mutability() {
+    assert_rule(
+        "interior-mutability",
+        "crates/mem/src/fixture.rs",
+        "fn f() { let c = std::cell::RefCell::new(0u8); c.replace(1); }\n",
+        "// swque-lint: allow(interior-mutability) — fixture: single-threaded scratch cell\n\
+         fn f() { let c = std::cell::RefCell::new(0u8); c.replace(1); }\n",
+        1,
+        29,
+        "hidden write channels",
     );
 }
 
@@ -154,6 +217,10 @@ fn every_rule_has_a_fixture() {
     let covered = [
         "no-unsafe",
         "unordered-container",
+        "iterated-unordered",
+        "truncating-cast",
+        "unchecked-arith",
+        "interior-mutability",
         "wall-clock",
         "ambient-rng",
         "panic-in-lib",
@@ -188,7 +255,8 @@ fn policy_exemptions_hold() {
         assert!(findings.is_empty(), "{exempt}: {findings:?}");
     }
 
-    let map_src = "use std::collections::HashSet;\n";
+    let map_src = "use std::collections::HashSet;\n\
+                   pub fn t(s: &HashSet<u64>) -> usize { s.len() }\n";
     for exempt in ["crates/bench/src/table.rs", "crates/core/tests/model.rs"] {
         let (findings, _) = scan_rust(exempt, map_src);
         assert!(findings.is_empty(), "{exempt}: {findings:?}");
@@ -226,10 +294,10 @@ fn pragma_is_rule_specific() {
 #[test]
 fn diagnostic_format() {
     let (findings, _) =
-        scan_rust("crates/core/src/fixture.rs", "use std::collections::HashMap;\n");
+        scan_rust("crates/core/src/fixture.rs", "fn f(cycle: u64) -> u32 { cycle as u32 }\n");
     let shown = findings[0].to_string();
     assert!(
-        shown.starts_with("crates/core/src/fixture.rs:1:23: [unordered-container]"),
+        shown.starts_with("crates/core/src/fixture.rs:1:27: [truncating-cast]"),
         "{shown}"
     );
     let _: &Finding = &findings[0];

@@ -158,7 +158,10 @@ fn pragma_parsing_property() {
         let probes: &[(&str, &str)] = &[
             ("wall-clock", "fn a() { let _ = std::time::Instant::now(); }"),
             ("env-read", "fn b() { let _ = std::env::var(\"X\"); }"),
-            ("unordered-container", "use std::collections::HashMap;"),
+            (
+                "unordered-container",
+                "pub fn t(m: &std::collections::HashMap<u64, u8>) -> usize { m.len() }",
+            ),
         ];
         let (probe_rule, probe_code) = probes[g.gen_range(0..probes.len())];
         let src = format!("{pragma}\n{probe_code}\n");

@@ -107,9 +107,9 @@ impl Cache {
         if prefetch {
             self.stats.prefetch_fills += 1;
         }
-        let victim = match set.iter_mut().find(|w| !w.valid) {
-            Some(w) => w,
-            None => set.iter_mut().min_by_key(|w| w.lru).expect("ways > 0"),
+        // Fill an invalid way, else evict LRU (invalid sorts first).
+        let Some(victim) = set.iter_mut().min_by_key(|w| (w.valid, w.lru)) else {
+            return; // zero ways: nowhere to put the line
         };
         *victim = Line { tag, lru: clock, valid: true, prefetched: prefetch };
     }

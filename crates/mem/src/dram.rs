@@ -19,7 +19,7 @@ impl Dram {
     ///
     /// Panics if `bytes_per_cycle` is zero.
     pub fn new(latency: u64, bytes_per_cycle: u64, line_bytes: u64) -> Dram {
-        assert!(bytes_per_cycle > 0, "bandwidth must be positive");
+        assert!(bytes_per_cycle > 0, "bandwidth must be positive"); // swque-lint: allow(panic-in-lib) — documented `# Panics` precondition
         Dram {
             latency,
             transfer_cycles: line_bytes.div_ceil(bytes_per_cycle),

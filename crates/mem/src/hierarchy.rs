@@ -186,13 +186,11 @@ impl MemoryHierarchy {
                 if busy < self.config.mshrs {
                     break;
                 }
-                let earliest = self
-                    .mshr
-                    .values()
-                    .filter(|&&d| d > start)
-                    .copied()
-                    .min()
-                    .expect("busy > 0 implies a pending completion");
+                let Some(earliest) =
+                    self.mshr.values().filter(|&&d| d > start).copied().min()
+                else {
+                    break; // busy == 0 next iteration anyway
+                };
                 self.stats.mshr_stall_cycles += earliest - start;
                 start = earliest;
             }

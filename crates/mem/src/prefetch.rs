@@ -101,18 +101,17 @@ impl StreamPrefetcher {
                 }
             });
             if let Some(direction) = dir {
-                let victim = self
-                    .streams
-                    .iter_mut()
-                    .min_by_key(|s| if s.valid { s.lru } else { 0 })
-                    .expect("streams > 0");
-                *victim = Stream {
-                    next_line: (line as i64 + direction) as u64,
-                    direction,
-                    issued_ahead: 0,
-                    lru: clock,
-                    valid: true,
-                };
+                let victim =
+                    self.streams.iter_mut().min_by_key(|s| if s.valid { s.lru } else { 0 });
+                if let Some(victim) = victim {
+                    *victim = Stream {
+                        next_line: (line as i64 + direction) as u64,
+                        direction,
+                        issued_ahead: 0,
+                        lru: clock,
+                        valid: true,
+                    };
+                }
             }
             if self.miss_history.len() == TRAIN_HISTORY {
                 self.miss_history.remove(0);

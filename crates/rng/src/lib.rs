@@ -191,7 +191,7 @@ macro_rules! impl_uniform_uint {
         impl UniformRange for $t {
             #[inline]
             fn sample(rng: &mut Rng, range: Range<$t>) -> $t {
-                assert!(range.start < range.end, "gen_range on empty range");
+                assert!(range.start < range.end, "gen_range on empty range"); // swque-lint: allow(panic-in-lib) — documented `# Panics` precondition of gen_range
                 let span = (range.end - range.start) as u64;
                 range.start + rng.bounded(span) as $t
             }
@@ -205,7 +205,7 @@ macro_rules! impl_uniform_int {
         impl UniformRange for $t {
             #[inline]
             fn sample(rng: &mut Rng, range: Range<$t>) -> $t {
-                assert!(range.start < range.end, "gen_range on empty range");
+                assert!(range.start < range.end, "gen_range on empty range"); // swque-lint: allow(panic-in-lib) — documented `# Panics` precondition of gen_range
                 // Width fits in u64 even for i64::MIN..i64::MAX.
                 let span = range.end.wrapping_sub(range.start) as u64;
                 range.start.wrapping_add(rng.bounded(span) as $t)
@@ -218,7 +218,7 @@ impl_uniform_int!(i8, i16, i32, i64, isize);
 impl UniformRange for f64 {
     #[inline]
     fn sample(rng: &mut Rng, range: Range<f64>) -> f64 {
-        assert!(range.start < range.end, "gen_range on empty range");
+        assert!(range.start < range.end, "gen_range on empty range"); // swque-lint: allow(panic-in-lib) — documented `# Panics` precondition of gen_range
         // 53 uniform mantissa bits in [0, 1).
         let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         range.start + unit * (range.end - range.start)

@@ -131,7 +131,7 @@ impl Gen {
     /// Panics if `weights` is empty or sums to zero.
     pub fn weighted(&mut self, weights: &[u32]) -> usize {
         let total: u64 = weights.iter().map(|&w| w as u64).sum();
-        assert!(total > 0, "weighted() needs a positive total weight");
+        assert!(total > 0, "weighted() needs a positive total weight"); // swque-lint: allow(panic-in-lib) — documented `# Panics` precondition
         let mut roll = self.rng.bounded(total);
         for (i, &w) in weights.iter().enumerate() {
             if roll < w as u64 {
@@ -139,7 +139,7 @@ impl Gen {
             }
             roll -= w as u64;
         }
-        unreachable!("roll < total by construction");
+        unreachable!("roll < total by construction"); // swque-lint: allow(panic-in-lib) — bounded(total) returns a value below total, so some weight absorbs the roll
     }
 
     /// Direct access to the underlying [`Rng`] (for APIs taking `&mut Rng`).
@@ -169,6 +169,7 @@ fn effective_cases(requested: usize) -> usize {
         Ok(v) => v
             .trim()
             .parse::<usize>()
+            // swque-lint: allow(panic-in-lib) — a garbled case budget must fail the test run loudly, not shrink coverage silently
             .unwrap_or_else(|_| panic!("SWQUE_PROP_CASES must be an integer, got {v:?}"))
             .max(1),
         Err(_) => requested,
@@ -186,6 +187,7 @@ fn base_seed() -> u64 {
                 Some(hex) => u64::from_str_radix(hex, 16),
                 None => t.parse::<u64>(),
             };
+            // swque-lint: allow(panic-in-lib) — a garbled replay seed must fail loudly, not silently test a different case
             parsed.unwrap_or_else(|_| panic!("SWQUE_PROP_SEED must be hex or decimal, got {v:?}"))
         }
         Err(_) => DEFAULT_BASE_SEED,

@@ -461,6 +461,7 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            // swque-lint: allow(panic-in-lib) — the scan above admits only ASCII digit/sign/dot/exponent bytes, which are valid UTF-8
             .expect("digits and punctuation are ASCII");
         let n: f64 = text.parse().map_err(|_| ParseError {
             offset: start,

@@ -62,7 +62,7 @@ pub mod summary;
 pub use json::Json;
 pub use summary::{IntervalSample, IpcSample, TraceSummary};
 
-use std::cell::RefCell;
+use std::cell::RefCell; // swque-lint: allow(interior-mutability) — single-threaded trace fan-in, documented on TraceHandle
 use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
@@ -236,7 +236,7 @@ impl RingRecorder {
     ///
     /// Panics if `capacity` is zero (use [`NullSink`] to discard).
     pub fn new(capacity: usize) -> RingRecorder {
-        assert!(capacity > 0, "a zero-capacity ring records nothing; use NullSink");
+        assert!(capacity > 0, "a zero-capacity ring records nothing; use NullSink"); // swque-lint: allow(panic-in-lib) — documented `# Panics` precondition
         RingRecorder { capacity, buf: VecDeque::with_capacity(capacity.min(4096)), dropped: 0 }
     }
 
@@ -292,7 +292,7 @@ impl TraceSink for RingRecorder {
 /// and callers that would do work just to *build* an event should guard on
 /// [`enabled`](TraceHandle::enabled) first.
 #[derive(Clone, Default)]
-pub struct TraceHandle(Option<Rc<RefCell<dyn TraceSink>>>);
+pub struct TraceHandle(Option<Rc<RefCell<dyn TraceSink>>>); // swque-lint: allow(interior-mutability) — single-threaded by design (see type docs); events append in deterministic simulation order
 
 impl TraceHandle {
     /// The disabled handle: records nothing, costs one branch per call.
@@ -307,7 +307,7 @@ impl TraceHandle {
 
     /// A handle feeding an arbitrary sink implementation.
     pub fn with_sink<S: TraceSink + 'static>(sink: S) -> TraceHandle {
-        TraceHandle(Some(Rc::new(RefCell::new(sink))))
+        TraceHandle(Some(Rc::new(RefCell::new(sink)))) // swque-lint: allow(interior-mutability) — single-threaded by design (see type docs)
     }
 
     /// True when events are being consumed. Emitters with non-trivial event

@@ -48,7 +48,7 @@ impl Default for PhasedParams {
 ///
 /// Panics if `chains` exceeds 8.
 pub fn phased(phases: u64, p: &PhasedParams) -> Program {
-    assert!((1..=8).contains(&p.chains), "chains out of range");
+    assert!((1..=8).contains(&p.chains), "chains out of range"); // swque-lint: allow(panic-in-lib) — documented `# Panics` parameter contract
     let mut rng = Rng::seed_from_u64(p.seed);
     let base = 0x100_0000u64;
     // Ring for the memory phase (Sattolo single cycle).
@@ -117,6 +117,7 @@ pub fn phased(phases: u64, p: &PhasedParams) -> Program {
     a.addi(Reg(28), Reg(28), -1);
     a.bne(Reg(28), Reg::ZERO, "phase");
     a.halt();
+    // swque-lint: allow(panic-in-lib) — every label branched to is defined above; a dangling label is a generator bug caught by the suite tests
     a.finish().expect("generator emits valid labels")
 }
 

@@ -45,9 +45,9 @@ impl Default for StreamFpParams {
 /// Panics if `arrays` exceeds 4, `unroll` is 0, or `footprint` is not a
 /// power of two large enough for one unrolled stride.
 pub fn stream_fp(iters: u64, p: &StreamFpParams) -> Program {
-    assert!((1..=4).contains(&p.arrays), "arrays out of range");
+    assert!((1..=4).contains(&p.arrays), "arrays out of range"); // swque-lint: allow(panic-in-lib) — documented `# Panics` parameter contract
     assert!(p.unroll > 0, "unroll must be positive");
-    assert!(p.footprint.is_power_of_two() && p.footprint >= (p.unroll as u64) * 8);
+    assert!(p.footprint.is_power_of_two() && p.footprint >= (p.unroll as u64) * 8); // swque-lint: allow(panic-in-lib) — documented `# Panics` parameter contract
     let mut rng = Rng::seed_from_u64(p.seed);
     let mut a = Assembler::new();
 
@@ -103,6 +103,7 @@ pub fn stream_fp(iters: u64, p: &StreamFpParams) -> Program {
     a.addi(Reg(1), Reg(1), -1);
     a.bne(Reg(1), Reg::ZERO, "loop");
     a.halt();
+    // swque-lint: allow(panic-in-lib) — every label branched to is defined above; a dangling label is a generator bug caught by the suite tests
     a.finish().expect("generator emits valid labels")
 }
 

@@ -33,14 +33,41 @@ trap 'rm -rf "$json_tmp"' EXIT
 SWQUE_JSON="$json_tmp/lint.json" ./target/release/swque-lint --workspace
 ./target/release/check_json "$json_tmp/lint.json"
 
-echo "== lint: negative self-check (injected violation must fail)"
-mkdir -p "$json_tmp/fake/crates/core/src"
-printf 'fn t() -> std::time::Instant { std::time::Instant::now() }\n' \
-    > "$json_tmp/fake/crates/core/src/injected.rs"
-if ./target/release/swque-lint --root "$json_tmp/fake" > /dev/null 2>&1; then
-    echo "error: swque-lint passed a tree with an injected std::time::Instant" >&2
-    exit 1
-fi
+echo "== lint: negative self-check matrix (one injection per rule, each must fail)"
+# Each injection goes into its own scratch tree with no baseline (zero debt
+# allowed), so the gate must exit non-zero. A rule that silently stops
+# firing is caught here, not in a post-mortem.
+neg_check() {
+    local rule="$1" file="$2" src="$3"
+    local tree="$json_tmp/neg-$rule"
+    mkdir -p "$tree/$(dirname "$file")"
+    printf '%b' "$src" > "$tree/$file"
+    if ./target/release/swque-lint --root "$tree" > /dev/null 2>&1; then
+        echo "error: swque-lint passed a tree with an injected $rule violation" >&2
+        exit 1
+    fi
+}
+neg_check wall-clock crates/core/src/injected.rs \
+    'fn t() -> std::time::Instant { std::time::Instant::now() }\n'
+neg_check unordered-container crates/cpu/src/injected.rs \
+    'use std::collections::HashMap;\npub fn t(m: &HashMap<u64, u8>) -> usize { m.len() }\n'
+neg_check iterated-unordered crates/cpu/src/injected.rs \
+    'use std::collections::HashMap;\nfn f(m: &HashMap<u64, u8>) { for k in m.keys() { let _ = k; } }\n'
+neg_check truncating-cast crates/core/src/injected.rs \
+    'fn f(cycle: u64) -> u32 { cycle as u32 }\n'
+neg_check unchecked-arith crates/core/src/injected.rs \
+    'fn f(cycle: u64, tick: u64) -> u64 { cycle - tick }\n'
+neg_check interior-mutability crates/mem/src/injected.rs \
+    'fn f() { let c = std::cell::RefCell::new(0u8); c.replace(1); }\n'
+neg_check panic-in-lib crates/trace/src/injected.rs \
+    'pub fn head(v: &[u8]) -> u8 { *v.first().unwrap() }\n'
+
+echo "== lint: --explain smoke (every rule documents itself)"
+for rule in no-unsafe unordered-container iterated-unordered truncating-cast \
+            unchecked-arith interior-mutability wall-clock ambient-rng \
+            panic-in-lib env-read malformed-pragma external-dep registry-source; do
+    ./target/release/swque-lint --explain "$rule" > /dev/null
+done
 
 echo "== json: schema smoke (fig09 -> check_json, reduced budget)"
 SWQUE_WARMUP=5000 SWQUE_INSTS=20000 SWQUE_JSON="$json_tmp/fig09.json" \

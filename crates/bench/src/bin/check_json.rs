@@ -1,10 +1,15 @@
 //! Schema validator for structured tool output: parses each file named on
 //! the command line with the in-tree JSON parser and checks its declared
 //! schema — `swque-bench-v1` experiment reports (including the nested
-//! `swque-trace-v1` shape of any embedded trace digests) and
+//! `swque-trace-v1` shape of any embedded trace digests),
 //! `swque-lint-v2` analyzer reports (the legacy `swque-lint-v1` shape,
-//! whose findings lack `rule_class`, is still accepted). Used by
-//! `scripts/verify.sh` as the JSON smoke step for both producers.
+//! whose findings lack `rule_class`, is still accepted), and the sweep
+//! orchestrator's three shapes: `swque-sweep-manifest-v1` campaign
+//! manifests, `swque-sweep-shard-v1` per-unit shards, and
+//! `swque-sweep-campaign-v1` merged reports (shard and campaign-row
+//! `unit_key`s are re-derived from the embedded unit, so a tampered or
+//! stale shard fails here exactly as it fails the merge). Used by
+//! `scripts/verify.sh` as the JSON smoke step for every producer.
 //!
 //! Diagnostics name the offending JSON path (`tables[2].rows[5]`,
 //! `traces[0].trace.events`, …) so a broken writer can be located without
@@ -14,7 +19,7 @@
 
 use std::process::ExitCode;
 
-use swque_bench::BENCH_SCHEMA;
+use swque_bench::{Manifest, BENCH_SCHEMA, CAMPAIGN_SCHEMA, MANIFEST_SCHEMA, SHARD_SCHEMA};
 use swque_trace::Json;
 
 /// Schema string of current `swque-lint` analyzer reports. Kept as a
@@ -35,10 +40,161 @@ fn check_report(doc: &Json) -> Result<String, String> {
         BENCH_SCHEMA => check_bench_report(doc),
         LINT_SCHEMA => check_lint_report(doc, 2),
         LINT_SCHEMA_V1 => check_lint_report(doc, 1),
+        MANIFEST_SCHEMA => check_sweep_manifest(doc),
+        SHARD_SCHEMA => check_sweep_shard(doc),
+        CAMPAIGN_SCHEMA => check_sweep_campaign(doc),
         other => Err(format!(
-            "schema: {other:?}, expected {BENCH_SCHEMA:?}, {LINT_SCHEMA:?}, or {LINT_SCHEMA_V1:?}"
+            "schema: {other:?}, expected {BENCH_SCHEMA:?}, {LINT_SCHEMA:?}, {LINT_SCHEMA_V1:?}, \
+             {MANIFEST_SCHEMA:?}, {SHARD_SCHEMA:?}, or {CAMPAIGN_SCHEMA:?}"
         )),
     }
+}
+
+/// Validates a `swque-sweep-manifest-v1` campaign manifest by handing it
+/// to the real parser — the definition of valid is "the orchestrator
+/// accepts it", so there is exactly one implementation of the rules.
+fn check_sweep_manifest(doc: &Json) -> Result<String, String> {
+    let m = Manifest::parse(&doc.to_string())?;
+    Ok(format!("sweep manifest {:?}: {} unit(s)", m.name, m.units().len()))
+}
+
+/// Validates the unit object embedded in shards and campaign rows.
+fn check_sweep_unit(unit: &Json, path: &str) -> Result<(), String> {
+    let want = ["kind", "model", "mpki_threshold", "flpi_threshold", "seed", "kernel", "budget"];
+    if unit.keys() != want {
+        return Err(format!("{path}: keys {:?}, expected {want:?}", unit.keys()));
+    }
+    for key in ["kind", "model", "kernel"] {
+        unit.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}.{key}: not a string"))?;
+    }
+    unit.get("seed").and_then(Json::as_u64).ok_or_else(|| format!("{path}.seed: not an integer"))?;
+    for key in ["mpki_threshold", "flpi_threshold"] {
+        match unit.get(key) {
+            Some(Json::Null) | Some(Json::Num(_)) => {}
+            _ => return Err(format!("{path}.{key}: not a number or null")),
+        }
+    }
+    let budget = unit.get("budget").ok_or_else(|| format!("{path}.budget: missing"))?;
+    for key in ["warmup_insts", "max_insts"] {
+        budget
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{path}.budget.{key}: not an integer"))?;
+    }
+    Ok(())
+}
+
+/// Validates the result object of shards and campaign rows.
+fn check_sweep_result(result: &Json, path: &str) -> Result<(), String> {
+    for key in ["cycles", "retired", "mode_switches"] {
+        result
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{path}.{key}: not an integer"))?;
+    }
+    for key in ["ipc", "mpki", "flpi"] {
+        result
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path}.{key}: not a number"))?;
+    }
+    Ok(())
+}
+
+/// The content-addressing invariant shared by shards and campaign rows:
+/// `unit_key` must equal the FNV-1a 64 digest of the embedded unit's
+/// serialization — the property resume and merge trust.
+fn check_unit_key(doc: &Json, path: &str) -> Result<(), String> {
+    let key = doc.get("unit_key").and_then(Json::as_str).unwrap_or("");
+    let unit = doc.get("unit").ok_or_else(|| format!("{path}.unit: missing"))?;
+    let expect = format!("{:016x}", swque_bench::sweep::fnv1a64(unit.to_string().as_bytes()));
+    if key != expect {
+        return Err(format!(
+            "{path}.unit_key: {key:?} does not match the unit's content hash {expect:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates one `swque-sweep-shard-v1` per-unit result file.
+fn check_sweep_shard(doc: &Json) -> Result<String, String> {
+    let keys = doc.keys();
+    let expect = ["schema", "unit_key", "unit", "result"];
+    if keys != expect {
+        return Err(format!("$: top-level keys {keys:?}, expected {expect:?}"));
+    }
+    check_unit_key(doc, "$")?;
+    check_sweep_unit(doc.get("unit").ok_or("unit: missing")?, "unit")?;
+    check_sweep_result(doc.get("result").ok_or("result: missing")?, "result")?;
+    Ok(format!(
+        "sweep shard {}",
+        doc.get("unit_key").and_then(Json::as_str).unwrap_or("?")
+    ))
+}
+
+/// Validates one `swque-sweep-campaign-v1` merged campaign report.
+fn check_sweep_campaign(doc: &Json) -> Result<String, String> {
+    let keys = doc.keys();
+    let expect = ["schema", "name", "units", "budget", "geomean_ipc", "marginals", "rows"];
+    if keys != expect {
+        return Err(format!("$: top-level keys {keys:?}, expected {expect:?}"));
+    }
+    let name = doc.get("name").and_then(Json::as_str).ok_or("name: not a string")?;
+    let units = doc.get("units").and_then(Json::as_u64).ok_or("units: not an integer")?;
+    doc.get("geomean_ipc").and_then(Json::as_f64).ok_or("geomean_ipc: not a number")?;
+    let budget = doc.get("budget").ok_or("budget: missing")?;
+    for key in ["warmup_insts", "max_insts"] {
+        budget
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("budget.{key}: not an integer"))?;
+    }
+    let marginals =
+        doc.get("marginals").and_then(Json::as_arr).ok_or("marginals: not an array")?;
+    for (mi, m) in marginals.iter().enumerate() {
+        if m.keys() != ["axis", "value", "units", "geomean_ipc"] {
+            return Err(format!(
+                "marginals[{mi}]: keys {:?}, expected axis/value/units/geomean_ipc",
+                m.keys()
+            ));
+        }
+        for key in ["axis", "value"] {
+            m.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("marginals[{mi}].{key}: not a string"))?;
+        }
+        m.get("units")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("marginals[{mi}].units: not an integer"))?;
+        m.get("geomean_ipc")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("marginals[{mi}].geomean_ipc: not a number"))?;
+    }
+    let rows = doc.get("rows").and_then(Json::as_arr).ok_or("rows: not an array")?;
+    if rows.len() as u64 != units {
+        return Err(format!("rows: {} row(s) vs declared units {units}", rows.len()));
+    }
+    for (ri, row) in rows.iter().enumerate() {
+        if row.keys() != ["unit_key", "unit", "result"] {
+            return Err(format!(
+                "rows[{ri}]: keys {:?}, expected unit_key/unit/result",
+                row.keys()
+            ));
+        }
+        let path = format!("rows[{ri}]");
+        check_unit_key(row, &path)?;
+        check_sweep_unit(
+            row.get("unit").ok_or_else(|| format!("{path}.unit: missing"))?,
+            &format!("{path}.unit"),
+        )?;
+        check_sweep_result(
+            row.get("result").ok_or_else(|| format!("{path}.result: missing"))?,
+            &format!("{path}.result"),
+        )?;
+    }
+    Ok(format!("sweep campaign {name:?}: {units} unit(s), {} marginal(s)", marginals.len()))
 }
 
 /// Validates one `swque-lint` analyzer report (`version` 1 or 2; v2
@@ -412,6 +568,122 @@ mod tests {
         ])]);
         let err = check_report(&with(&doc, "findings", bogus)).unwrap_err();
         assert!(err.starts_with("findings[0].rule_class:"), "{err}");
+    }
+
+    /// A schema-valid shard document shaped like the real orchestrator's
+    /// output (hand-built so the test needs no simulation run; the
+    /// `sweep` integration test covers the real writer).
+    fn valid_shard_doc() -> Json {
+        let unit = Json::obj([
+            ("kind", Json::from("SWQUE")),
+            ("model", Json::from("medium")),
+            ("mpki_threshold", Json::Null),
+            ("flpi_threshold", Json::from(0.04)),
+            ("seed", Json::from(3u64)),
+            ("kernel", Json::from("mcf_like")),
+            (
+                "budget",
+                Json::obj([
+                    ("warmup_insts", Json::from(1000u64)),
+                    ("max_insts", Json::from(4000u64)),
+                    ("scale", Json::Null),
+                ]),
+            ),
+        ]);
+        let key = format!(
+            "{:016x}",
+            swque_bench::sweep::fnv1a64(unit.to_string().as_bytes())
+        );
+        Json::obj([
+            ("schema", Json::from(SHARD_SCHEMA)),
+            ("unit_key", Json::from(key)),
+            ("unit", unit),
+            (
+                "result",
+                Json::obj([
+                    ("cycles", Json::from(100u64)),
+                    ("retired", Json::from(200u64)),
+                    ("ipc", Json::from(2.0)),
+                    ("mpki", Json::from(1.5)),
+                    ("flpi", Json::from(0.1)),
+                    ("mode_switches", Json::from(4u64)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn accepts_valid_sweep_shard() {
+        let desc = check_report(&valid_shard_doc()).expect("valid shard");
+        assert!(desc.contains("sweep shard"), "{desc}");
+    }
+
+    #[test]
+    fn rejects_shard_with_tampered_unit_key() {
+        let doc = with(&valid_shard_doc(), "unit_key", Json::from("0000000000000000"));
+        let err = check_report(&doc).unwrap_err();
+        assert!(err.contains("content hash"), "{err}");
+    }
+
+    #[test]
+    fn rejects_shard_whose_unit_was_edited_after_hashing() {
+        // Mutate the embedded unit but keep the old key: the recomputed
+        // digest no longer matches.
+        let doc = valid_shard_doc();
+        let Some(unit) = doc.get("unit") else { panic!("unit present") };
+        let edited = with(unit, "seed", Json::from(4u64));
+        let err = check_report(&with(&doc, "unit", edited)).unwrap_err();
+        assert!(err.contains("content hash"), "{err}");
+    }
+
+    #[test]
+    fn validates_campaign_reports_and_row_counts() {
+        let shard = valid_shard_doc();
+        let row = Json::obj([
+            ("unit_key", shard.get("unit_key").cloned().unwrap_or(Json::Null)),
+            ("unit", shard.get("unit").cloned().unwrap_or(Json::Null)),
+            ("result", shard.get("result").cloned().unwrap_or(Json::Null)),
+        ]);
+        let campaign = Json::obj([
+            ("schema", Json::from(CAMPAIGN_SCHEMA)),
+            ("name", Json::from("t")),
+            ("units", Json::from(1u64)),
+            (
+                "budget",
+                Json::obj([
+                    ("warmup_insts", Json::from(1000u64)),
+                    ("max_insts", Json::from(4000u64)),
+                    ("scale", Json::Null),
+                ]),
+            ),
+            ("geomean_ipc", Json::from(2.0)),
+            ("marginals", Json::Arr(vec![])),
+            ("rows", Json::Arr(vec![row])),
+        ]);
+        let desc = check_report(&campaign).expect("valid campaign");
+        assert!(desc.contains("1 unit(s)"), "{desc}");
+        // Declared unit count must match the row count.
+        let err = check_report(&with(&campaign, "units", Json::from(2u64))).unwrap_err();
+        assert!(err.starts_with("rows:"), "{err}");
+    }
+
+    #[test]
+    fn validates_manifests_through_the_real_parser() {
+        let doc = Json::parse(
+            r#"{"schema":"swque-sweep-manifest-v1","name":"m",
+                "budget":{"warmup_insts":10,"max_insts":20},
+                "axes":{"kinds":["AGE","SWQUE"]}}"#,
+        )
+        .expect("literal parses");
+        let desc = check_report(&doc).expect("valid manifest");
+        assert!(desc.contains("sweep manifest"), "{desc}");
+        let err = check_report(&with(
+            &doc,
+            "axes",
+            Json::obj([("kinds", Json::Arr(vec![Json::from("BOGUS")]))]),
+        ))
+        .unwrap_err();
+        assert!(err.contains("axes.kinds"), "{err}");
     }
 
     #[test]

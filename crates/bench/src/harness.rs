@@ -40,6 +40,15 @@ impl ProcessorModel {
             ProcessorModel::Large => "large",
         }
     }
+
+    /// Parses a label as printed by [`ProcessorModel::label`].
+    pub fn from_label(label: &str) -> Option<ProcessorModel> {
+        match label {
+            "medium" => Some(ProcessorModel::Medium),
+            "large" => Some(ProcessorModel::Large),
+            _ => None,
+        }
+    }
 }
 
 /// One simulation request.
@@ -56,6 +65,16 @@ pub struct RunSpec {
     pub max_insts: u64,
     /// Kernel scale override (`None` = the kernel's default).
     pub scale: Option<u64>,
+    /// Workload layout-seed perturbation, mixed into the kernel generator's
+    /// base seed (`0` = the kernel's canonical program, byte-identical to
+    /// pre-seed-axis builds). Sweep campaigns use this as their seed axis.
+    pub seed: u64,
+    /// SWQUE controller MPKI-threshold override (`None` = the paper's
+    /// Table 3 value from the model config).
+    pub mpki_threshold: Option<f64>,
+    /// SWQUE controller base FLPI-threshold override (`None` = the paper's
+    /// Table 3 value from the model config).
+    pub flpi_threshold: Option<f64>,
 }
 
 impl RunSpec {
@@ -67,12 +86,28 @@ impl RunSpec {
             warmup_insts: default_warmup(),
             max_insts: default_insts(),
             scale: None,
+            seed: 0,
+            mpki_threshold: None,
+            flpi_threshold: None,
         }
     }
 
     /// A large-model run of `iq` with the default experiment budget.
     pub fn large(iq: IqKind) -> RunSpec {
         RunSpec { model: ProcessorModel::Large, ..RunSpec::medium(iq) }
+    }
+
+    /// The core configuration this spec resolves to: the model's config
+    /// with any controller-threshold overrides applied.
+    pub fn config(&self) -> CoreConfig {
+        let mut config = self.model.config();
+        if let Some(mpki) = self.mpki_threshold {
+            config.iq.swque.mpki_threshold = mpki;
+        }
+        if let Some(flpi) = self.flpi_threshold {
+            config.iq.swque.flpi_threshold = flpi;
+        }
+        config
     }
 }
 
@@ -93,11 +128,8 @@ pub fn default_warmup() -> u64 {
 /// Runs `kernel` under `spec` and returns the measured-window result
 /// (warmup excluded).
 pub fn run_kernel(kernel: &Kernel, spec: &RunSpec) -> SimResult {
-    let program = match spec.scale {
-        Some(s) => kernel.build_scaled(s),
-        None => kernel.build(),
-    };
-    let mut core = Core::new(spec.model.config(), spec.iq, &program);
+    let program = kernel.build_seeded(spec.scale, spec.seed);
+    let mut core = Core::new(spec.config(), spec.iq, &program);
     let warm = core.run(spec.warmup_insts);
     if core.finished() {
         // Short program: no meaningful warmup split.
@@ -112,11 +144,8 @@ pub fn run_kernel(kernel: &Kernel, spec: &RunSpec) -> SimResult {
 /// [`TRACE_CAPACITY`]-event ring observes the measurement and is reduced to
 /// a [`TraceSummary`].
 pub fn run_kernel_traced(kernel: &Kernel, spec: &RunSpec) -> (SimResult, TraceSummary) {
-    let program = match spec.scale {
-        Some(s) => kernel.build_scaled(s),
-        None => kernel.build(),
-    };
-    let mut core = Core::new(spec.model.config(), spec.iq, &program);
+    let program = kernel.build_seeded(spec.scale, spec.seed);
+    let mut core = Core::new(spec.config(), spec.iq, &program);
     let warm = core.run(spec.warmup_insts);
     if core.finished() {
         return (warm, TraceSummary::default());
@@ -182,12 +211,23 @@ pub fn run_suite_traced_on(
 /// `SWQUE_THREADS` environment variable when set to a positive integer
 /// (invalid or zero values are ignored), otherwise the host's available
 /// parallelism; always clamped to the number of kernels.
+///
+/// This is the *only* place the harness reads `SWQUE_THREADS`; all the
+/// sizing logic lives in the pure [`default_workers_with`], which tests
+/// exercise without mutating process environment (mutating env from one
+/// `#[test]` races every other test in the same process).
 pub fn default_workers(kernels: usize) -> usize {
-    let requested = std::env::var("SWQUE_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1);
+    let requested = std::env::var("SWQUE_THREADS").ok().and_then(|v| v.parse::<usize>().ok());
+    default_workers_with(requested, kernels)
+}
+
+/// Pure worker-count policy behind [`default_workers`]: `requested` wins
+/// when it is a positive integer (`None` or `Some(0)` fall back to the
+/// host's available parallelism), and the result is always clamped to the
+/// number of kernels (at least 1).
+pub fn default_workers_with(requested: Option<usize>, kernels: usize) -> usize {
     let n = requested
+        .filter(|&n| n >= 1)
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
     n.min(kernels.max(1))
 }
@@ -271,11 +311,10 @@ mod tests {
     fn run_kernel_smoke() {
         let k = suite::by_name("deepsjeng_like").unwrap();
         let spec = RunSpec {
-            model: ProcessorModel::Medium,
-            iq: IqKind::Age,
             warmup_insts: 5_000,
             max_insts: 20_000,
             scale: Some(2_000),
+            ..RunSpec::medium(IqKind::Age)
         };
         let r = run_kernel(&k, &spec);
         // Commit-width granularity means the warmup snapshot may overshoot

@@ -4,18 +4,17 @@
 //! `swque-bench-v1` / `swque-trace-v1` shapes. A change that reshapes the
 //! JSON must update this test, DESIGN.md, and the schema version together.
 
-use swque_bench::{run_kernel_traced, ProcessorModel, Report, RunSpec, Table, BENCH_SCHEMA};
+use swque_bench::{run_kernel_traced, Report, RunSpec, Table, BENCH_SCHEMA};
 use swque_core::IqKind;
 use swque_trace::Json;
 use swque_workloads::suite;
 
 fn small_spec() -> RunSpec {
     RunSpec {
-        model: ProcessorModel::Medium,
-        iq: IqKind::Swque,
         warmup_insts: 5_000,
         max_insts: 40_000,
         scale: Some(2_000),
+        ..RunSpec::medium(IqKind::Swque)
     }
 }
 

@@ -115,6 +115,7 @@ mod tests {
             mem: Default::default(),
             branch: Default::default(),
             core: CoreStats::default(),
+            invariant: None,
         }
     }
 

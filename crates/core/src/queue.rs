@@ -145,6 +145,12 @@ impl IqKind {
         }
     }
 
+    /// Parses a label as printed by [`IqKind::label`] (the paper's names,
+    /// e.g. `"CIRC-PC"` or `"SWQUE-multiAM"`).
+    pub fn from_label(label: &str) -> Option<IqKind> {
+        IqKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+
     /// Builds a queue of this kind.
     pub fn build(&self, config: &IqConfig) -> Box<dyn IssueQueue> {
         match self {

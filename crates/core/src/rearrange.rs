@@ -15,8 +15,7 @@
 //! old set holds at most `old_capacity` instructions, and selection walks
 //! the old set in age order before falling back to positional order.
 
-use std::collections::BTreeMap;
-
+use crate::bitset::BitSet;
 use crate::queue::{IqConfig, IssueQueue};
 use crate::slots::SlotArray;
 use crate::stats::IqStats;
@@ -26,11 +25,23 @@ use crate::types::{DispatchReq, Grant, IqFullError, IssueBudget, Tag};
 #[derive(Debug)]
 pub struct RearrangingQueue {
     slots: SlotArray,
-    /// Old-queue membership: seq → position, kept in age order.
-    old: BTreeMap<u64, usize>,
+    /// Old-queue membership: `(seq, pos)` kept sorted by seq (age order).
+    /// Bounded by `old_capacity` (small), so insertion-sorted linear ops
+    /// beat a tree; the paired position mask makes membership tests O(1).
+    old: Vec<(u64, usize)>,
+    /// Positions currently in the old queue (mirror of `old`), tested by
+    /// both per-cycle scans instead of a map lookup per candidate.
+    old_mask: BitSet,
     old_capacity: usize,
     move_width: usize,
     flpi_floor: usize,
+    /// Promotion scratch reused across cycles (see [`Self::rearrange`]):
+    /// holds at most `move_width` `(seq, pos)` candidates, so the per-cycle
+    /// select loop never allocates.
+    scratch: Vec<(u64, usize)>,
+    /// Old-queue position snapshot reused across select cycles (granting
+    /// mutates `old`, so selection iterates a copy).
+    old_scratch: Vec<usize>,
     stats: IqStats,
 }
 
@@ -59,10 +70,13 @@ impl RearrangingQueue {
     ) -> RearrangingQueue {
         RearrangingQueue {
             slots: SlotArray::new(config.capacity),
-            old: BTreeMap::new(),
+            old: Vec::with_capacity(old_capacity),
+            old_mask: BitSet::new(config.capacity),
             old_capacity,
             move_width,
             flpi_floor: config.flpi_rank_floor(),
+            scratch: Vec::with_capacity(move_width),
+            old_scratch: Vec::with_capacity(old_capacity),
             stats: IqStats::default(),
         }
     }
@@ -73,20 +87,43 @@ impl RearrangingQueue {
     }
 
     /// Promotes up to `move_width` of the oldest main-queue entries.
+    ///
+    /// Runs every select cycle, so it must not be the hot-path outlier it
+    /// once was: when the old queue is full (the steady state under
+    /// pressure) it exits before touching any slot, and otherwise it keeps
+    /// the `min(move_width, free)` oldest candidates in a small
+    /// insertion-sorted scratch buffer reused across cycles — no per-cycle
+    /// allocation, no O(n log n) sort of the whole queue.
     fn rearrange(&mut self) {
-        let mut candidates: Vec<(u64, usize)> = self
-            .slots
-            .valid_positions()
-            .map(|p| (self.slots.get(p).seq, p))
-            .filter(|(seq, _)| !self.old.contains_key(seq))
-            .collect();
-        candidates.sort_unstable();
-        for (seq, pos) in candidates.into_iter().take(self.move_width) {
-            if self.old.len() >= self.old_capacity {
-                break;
-            }
-            self.old.insert(seq, pos);
+        let free = self.old_capacity.saturating_sub(self.old.len());
+        let take = free.min(self.move_width);
+        if take == 0 {
+            return;
         }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        for pos in self.slots.valid_positions() {
+            if self.old_mask.test(pos) {
+                continue;
+            }
+            let seq = self.slots.get(pos).seq;
+            if scratch.len() == take {
+                // `scratch` is sorted ascending; its last entry is the
+                // youngest survivor.
+                if seq >= scratch[take - 1].0 {
+                    continue;
+                }
+                scratch.pop();
+            }
+            let at = scratch.partition_point(|&(s, _)| s < seq);
+            scratch.insert(at, (seq, pos));
+        }
+        for &(seq, pos) in &scratch {
+            let at = self.old.partition_point(|&(s, _)| s < seq);
+            self.old.insert(at, (seq, pos));
+            self.old_mask.set(pos);
+        }
+        self.scratch = scratch;
     }
 
     fn grant_at(&mut self, pos: usize, rank: usize) -> Grant {
@@ -99,7 +136,12 @@ impl RearrangingQueue {
             rank,
             two_cycle: false,
         };
-        self.old.remove(&slot.seq);
+        if self.old_mask.test(pos) {
+            self.old_mask.clear(pos);
+            if let Ok(at) = self.old.binary_search_by_key(&g.seq, |&(s, _)| s) {
+                self.old.remove(at);
+            }
+        }
         self.slots.remove(pos);
         self.stats.issued += 1;
         self.stats.tag_reads += 1;
@@ -151,8 +193,10 @@ impl IssueQueue for RearrangingQueue {
         let mut grants = Vec::new();
         // Old queue first, in age order: multiple oldest instructions get
         // high priority (the scheme's whole point).
-        let old_positions: Vec<usize> = self.old.values().copied().collect();
-        for pos in old_positions {
+        let mut old_positions = std::mem::take(&mut self.old_scratch);
+        old_positions.clear();
+        old_positions.extend(self.old.iter().map(|&(_, pos)| pos));
+        for &pos in &old_positions {
             if budget.exhausted() {
                 break;
             }
@@ -161,6 +205,7 @@ impl IssueQueue for RearrangingQueue {
                 grants.push(self.grant_at(pos, 0));
             }
         }
+        self.old_scratch = old_positions;
         // Then the main queue, positional (random w.r.t. age): a word scan
         // over the packed ready plane, skipping old-queue members. Words
         // are copied to a register before their bits are visited, so
@@ -174,7 +219,7 @@ impl IssueQueue for RearrangingQueue {
                 let pos = wi * 64 + word.trailing_zeros() as usize;
                 word &= word - 1;
                 let slot = self.slots.get(pos);
-                if !self.old.contains_key(&slot.seq) && budget.try_take(slot.fu) {
+                if !self.old_mask.test(pos) && budget.try_take(slot.fu) {
                     grants.push(self.grant_at(pos, pos));
                 }
             }
@@ -185,6 +230,7 @@ impl IssueQueue for RearrangingQueue {
     fn flush(&mut self) {
         self.slots.clear();
         self.old.clear();
+        self.old_mask.clear_all();
     }
 
     fn squash_younger(&mut self, seq: u64) {
@@ -194,10 +240,12 @@ impl IssueQueue for RearrangingQueue {
             .filter(|&p| self.slots.get(p).seq > seq)
             .collect();
         for pos in doomed {
-            let s = self.slots.get(pos).seq;
-            self.old.remove(&s);
+            self.old_mask.clear(pos);
             self.slots.remove(pos);
         }
+        // `old` is sorted by seq: everything younger sits past the cut.
+        let cut = self.old.partition_point(|&(s, _)| s <= seq);
+        self.old.truncate(cut);
     }
 
     fn stats(&self) -> IqStats {

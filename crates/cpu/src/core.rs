@@ -42,7 +42,7 @@ use crate::config::CoreConfig;
 use crate::fu::FuPool;
 use crate::lsq::{LoadAction, Lsq};
 use crate::rename::RenameState;
-use crate::result::{CoreStats, SimResult};
+use crate::result::{CoreStats, InvariantViolation, SimResult};
 use crate::rob::{Rob, RobEntry, RobState};
 
 /// An instruction travelling through the front end (fetched or awaiting
@@ -152,6 +152,10 @@ pub struct Core {
     /// Cycle the current dispatch-stall run began (`None` = not stalled).
     stall_run_start: Option<u64>,
 
+    /// First pipeline-invariant violation (see [`Core::invariant`]); once
+    /// set, the pipeline is frozen and the run loop stops.
+    violation: Option<InvariantViolation>,
+
     stats: CoreStats,
 }
 
@@ -186,6 +190,7 @@ impl Core {
             next_ipc_mark: interval,
             ipc_window_start: (0, 0),
             stall_run_start: None,
+            violation: None,
             stats: CoreStats::default(),
             config,
         }
@@ -228,23 +233,38 @@ impl Core {
             && self.replay.is_empty()
     }
 
-    /// Runs until `max_insts` instructions retire or the program finishes.
+    /// The first pipeline-invariant violation, if the simulator wedged
+    /// itself (also carried on every [`SimResult`] this core produces).
+    pub fn violation(&self) -> Option<&InvariantViolation> {
+        self.violation.as_ref()
+    }
+
+    /// Records a broken pipeline invariant — a simulator bug, not a program
+    /// property. The first report wins; the pipeline freezes (every
+    /// subsequent [`step_cycle`](Self::step_cycle) is a no-op) so the
+    /// violation is surfaced through [`SimResult::invariant`] instead of a
+    /// library panic or ever-worsening garbage counters.
+    fn invariant(&mut self, stage: &'static str, detail: String) {
+        if self.violation.is_none() {
+            self.violation = Some(InvariantViolation { stage, detail, cycle: self.cycle });
+        }
+    }
+
+    /// Runs until `max_insts` instructions retire, the program finishes, or
+    /// a pipeline invariant is violated (see [`SimResult::invariant`]).
     /// Returns the accumulated results (callable again to continue).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the pipeline makes no forward progress for an implausibly
-    /// long time (a simulator bug, not a program property).
     pub fn run(&mut self, max_insts: u64) -> SimResult {
-        while self.retired < max_insts && !self.finished() {
+        while self.retired < max_insts && !self.finished() && self.violation.is_none() {
             self.step_cycle();
-            assert!(
-                self.cycle.saturating_sub(self.last_retire_cycle) < DEADLOCK_LIMIT,
-                "no retirement for {DEADLOCK_LIMIT} cycles at cycle {} (retired {}); \
-                 pipeline wedged",
-                self.cycle,
-                self.retired,
-            );
+            if self.cycle.saturating_sub(self.last_retire_cycle) >= DEADLOCK_LIMIT {
+                self.invariant(
+                    "progress",
+                    format!(
+                        "no retirement for {DEADLOCK_LIMIT} cycles (retired {}); pipeline wedged",
+                        self.retired
+                    ),
+                );
+            }
         }
         self.result()
     }
@@ -259,6 +279,7 @@ impl Core {
             mem: self.mem.stats(),
             branch: self.bp.stats(),
             core: self.stats,
+            invariant: self.violation.clone(),
         }
     }
 
@@ -283,8 +304,13 @@ impl Core {
         }
     }
 
-    /// Advances one cycle.
+    /// Advances one cycle. A no-op once a pipeline invariant has been
+    /// violated (the frozen state is exactly what the violation report
+    /// describes).
     pub fn step_cycle(&mut self) {
+        if self.violation.is_some() {
+            return;
+        }
         self.commit();
         if self.trace.enabled() {
             self.trace_interval_ipc();
@@ -332,7 +358,7 @@ impl Core {
             if t > self.cycle {
                 break;
             }
-            let Reverse((_, _, uid)) = self.events.pop().expect("peeked");
+            let Some(Reverse((_, _, uid))) = self.events.pop() else { break };
             // Squashed instructions may leave stale completion events.
             let Some(entry) = self.rob.get_mut(uid) else { continue };
             entry.state = RobState::Done;
@@ -400,9 +426,14 @@ impl Core {
                 LoadAction::Access => {
                     self.lsq.mark_load_started(uid);
                     self.stats.loads_accessed += 1;
-                    let addr =
-                        self.rob.get(uid).expect("pending load in ROB").oracle.mem.expect("load").addr;
-                    let r = self.mem.access(addr, AccessKind::Load, self.cycle);
+                    let Some(mem) = self.rob.get(uid).and_then(|e| e.oracle.mem) else {
+                        self.invariant(
+                            "execute",
+                            format!("pending load uid {uid} has no live ROB memory record"),
+                        );
+                        return;
+                    };
+                    let r = self.mem.access(mem.addr, AccessKind::Load, self.cycle);
                     self.schedule(uid, r.done_at.max(self.cycle + 1));
                 }
             }
@@ -411,8 +442,11 @@ impl Core {
     }
 
     fn schedule(&mut self, uid: u64, at: u64) {
-        let seq = self.rob.get(uid).expect("scheduling a live instruction").seq;
-        self.events.push(Reverse((at, seq, uid)));
+        let Some(entry) = self.rob.get(uid) else {
+            self.invariant("schedule", format!("uid {uid} scheduled without a live ROB entry"));
+            return;
+        };
+        self.events.push(Reverse((at, entry.seq, uid)));
     }
 
     // ---- issue ----
@@ -423,7 +457,10 @@ impl Core {
         let grants = self.iq.select(&mut budget);
         for g in grants {
             let uid = g.payload;
-            let entry = self.rob.get_mut(uid).expect("granted instruction in ROB");
+            let Some(entry) = self.rob.get_mut(uid) else {
+                self.invariant("issue", format!("granted uid {uid} is not live in the ROB"));
+                return;
+            };
             entry.state = RobState::Executing;
             let op = entry.oracle.inst.op;
             self.fus.acquire(op, self.cycle);
@@ -482,10 +519,19 @@ impl Core {
                 inst.src1.and_then(|r| self.rename.rename_src(r)),
                 inst.src2.and_then(|r| self.rename.rename_src(r)),
             ];
-            let dst = inst.dest().map(|r| {
-                let (new, old) = self.rename.rename_dst(r).expect("free count checked");
-                (r, new, old)
-            });
+            let dst = match inst.dest() {
+                Some(r) => match self.rename.rename_dst(r) {
+                    Some((new, old)) => Some((r, new, old)),
+                    None => {
+                        self.invariant(
+                            "dispatch",
+                            format!("no free physical register for seq {seq} after free_count check"),
+                        );
+                        return;
+                    }
+                },
+                None => None,
+            };
             if let Some(mem) = d.front.oracle.mem {
                 self.lsq.push(d.front.uid, mem.is_store, mem.addr, mem.size);
             }
@@ -498,8 +544,9 @@ impl Core {
                 mispredicted: d.mispredicted,
                 wp: d.wp,
             });
-            if needs_iq {
-                self.iq
+            if needs_iq
+                && self
+                    .iq
                     .dispatch(DispatchReq {
                         seq,
                         payload: d.front.uid,
@@ -507,7 +554,13 @@ impl Core {
                         srcs,
                         fu: op.fu_class(),
                     })
-                    .expect("has_space checked");
+                    .is_err()
+            {
+                self.invariant(
+                    "dispatch",
+                    format!("IQ rejected seq {seq} after has_space reported room"),
+                );
+                return;
             }
             self.stats.dispatched += 1;
         }
@@ -573,7 +626,13 @@ impl Core {
             let is_wp = matches!(source, Source::WrongPath);
             let front = match source {
                 Source::WrongPath => {
-                    let wp = self.wrong_path.as_mut().expect("checked above");
+                    let Some(wp) = self.wrong_path.as_mut() else {
+                        self.invariant(
+                            "fetch",
+                            "wrong-path fetch source without active wrong-path state".to_string(),
+                        );
+                        return;
+                    };
                     match wp.shadow.step(&self.emu) {
                         Ok(r) if r.inst.op == Opcode::Halt => {
                             wp.dead = true;
@@ -593,12 +652,24 @@ impl Core {
                     }
                 }
                 Source::Replay => {
-                    let f = self.replay.pop_front().expect("checked above");
+                    let Some(f) = self.replay.pop_front() else {
+                        self.invariant(
+                            "fetch",
+                            "replay fetch source with an empty replay queue".to_string(),
+                        );
+                        return;
+                    };
                     self.stats.replayed += 1;
                     f
                 }
                 Source::Oracle => {
-                    let retired = self.emu.step().expect("well-formed program");
+                    let retired = match self.emu.step() {
+                        Ok(r) => r,
+                        Err(e) => {
+                            self.invariant("fetch", format!("oracle emulator fault: {e}"));
+                            return;
+                        }
+                    };
                     if retired.inst.op == Opcode::Halt {
                         self.emu_halted = true;
                         break;

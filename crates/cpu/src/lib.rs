@@ -46,5 +46,5 @@ pub use config::CoreConfig;
 pub use fu::FuPool;
 pub use lsq::{LoadAction, Lsq};
 pub use rename::RenameState;
-pub use result::{CoreStats, SimResult};
+pub use result::{CoreStats, InvariantViolation, SimResult};
 pub use rob::{Rob, RobEntry, RobState};

@@ -30,6 +30,33 @@ pub struct CoreStats {
     pub wrong_path_squashed: u64,
 }
 
+/// A broken pipeline invariant, reported through [`SimResult::invariant`]
+/// instead of a panic.
+///
+/// The cycle model maintains cross-structure invariants (an issued
+/// instruction is live in the ROB, `has_space` checks precede allocation,
+/// the fetch oracle never faults on a well-formed program). A violation
+/// means the *simulator* is buggy — results from that point on are
+/// meaningless — so the core records the first violation, freezes the
+/// pipeline, and surfaces the report here, where harnesses can fail the
+/// run loudly without a library panic tearing down a whole sweep campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Pipeline stage that observed the violation (`"fetch"`,
+    /// `"dispatch"`, `"issue"`, `"execute"`, `"progress"`, …).
+    pub stage: &'static str,
+    /// What was expected and what was found.
+    pub detail: String,
+    /// Cycle at which the violation was observed.
+    pub cycle: u64,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pipeline invariant violated in {} at cycle {}: {}", self.stage, self.cycle, self.detail)
+    }
+}
+
 /// The outcome of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimResult {
@@ -47,6 +74,10 @@ pub struct SimResult {
     pub branch: BranchStats,
     /// Core counters.
     pub core: CoreStats,
+    /// The first pipeline-invariant violation, if the simulator wedged
+    /// itself (`None` on every healthy run). Counters above cover only the
+    /// cycles before the violation.
+    pub invariant: Option<InvariantViolation>,
 }
 
 impl CoreStats {
@@ -93,6 +124,7 @@ impl SimResult {
             mem: self.mem.delta(&earlier.mem),
             branch: self.branch.delta(&earlier.branch),
             core: self.core.delta(&earlier.core),
+            invariant: self.invariant.clone(),
         }
     }
 
@@ -125,6 +157,7 @@ mod tests {
             mem: MemStats::default(),
             branch: BranchStats::default(),
             core: CoreStats::default(),
+            invariant: None,
         };
         assert!((r.ipc() - 2.0).abs() < 1e-12);
     }
@@ -139,6 +172,7 @@ mod tests {
             mem: MemStats::default(),
             branch: BranchStats::default(),
             core: CoreStats::default(),
+            invariant: None,
         };
         assert_eq!(r.ipc(), 0.0);
     }

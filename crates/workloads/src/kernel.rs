@@ -58,19 +58,30 @@ pub struct Kernel {
     pub class: IlpClass,
     /// Default scale (outer iterations) for full experiments.
     pub default_scale: u64,
-    pub(crate) builder: fn(u64) -> Program,
+    pub(crate) builder: fn(u64, u64) -> Program,
 }
 
 impl Kernel {
     /// Builds the kernel at its default experiment scale.
     pub fn build(&self) -> Program {
-        (self.builder)(self.default_scale)
+        (self.builder)(self.default_scale, 0)
     }
 
     /// Builds the kernel with `scale` outer iterations (use small values
     /// for tests).
     pub fn build_scaled(&self, scale: u64) -> Program {
-        (self.builder)(scale.max(1))
+        (self.builder)(scale.max(1), 0)
+    }
+
+    /// Builds the kernel with an explicit scale (`None` = the default) and
+    /// a layout-seed perturbation. `seed` is mixed into the generator's
+    /// canonical seed, so distinct seeds yield distinct memory layouts and
+    /// branch patterns of the *same* workload archetype; `seed == 0` is
+    /// byte-identical to [`build`](Self::build)/[`build_scaled`](Self::build_scaled)
+    /// (golden-trace pins stay valid). Sweep campaigns use this as their
+    /// seed axis.
+    pub fn build_seeded(&self, scale: Option<u64>, seed: u64) -> Program {
+        (self.builder)(scale.unwrap_or(self.default_scale).max(1), seed)
     }
 }
 

@@ -78,6 +78,53 @@ echo "== perf gate: perf_gate --smoke -> check_json"
 SWQUE_JSON="$json_tmp/BENCH_TIER1.json" ./target/release/perf_gate --smoke > /dev/null
 ./target/release/check_json "$json_tmp/BENCH_TIER1.json"
 
+echo "== sweep: kill/resume smoke (SIGKILL mid-campaign, resume, merge, validate)"
+# A small campaign is started in the background on one worker, killed hard
+# as soon as its first shard lands, then resumed. The resumed run must
+# finish the campaign, the merged report and a shard must validate against
+# their schemas, and the committed example manifest must validate too.
+sweep_out="$json_tmp/sweep"
+cat > "$json_tmp/sweep-manifest.json" <<'EOF'
+{"schema": "swque-sweep-manifest-v1",
+ "name": "verify-smoke",
+ "budget": {"warmup_insts": 2000, "max_insts": 8000, "scale": 1500},
+ "axes": {"kinds": ["CIRC", "AGE"], "seeds": [0, 7, 11],
+          "kernels": ["mcf_like", "omnetpp_like"]}}
+EOF
+./target/release/swque_sweep --manifest "$json_tmp/sweep-manifest.json" \
+    --out "$sweep_out" --workers 1 > /dev/null 2>&1 &
+sweep_pid=$!
+# Wait for the first shard, then kill the campaign mid-run (a finished
+# campaign just makes the kill a no-op; resume still covers the gate).
+for _ in $(seq 1 200); do
+    [ -n "$(ls "$sweep_out/shards" 2> /dev/null)" ] && break
+    sleep 0.05
+done
+kill -9 "$sweep_pid" 2> /dev/null || true
+wait "$sweep_pid" 2> /dev/null || true
+./target/release/swque_sweep --manifest "$json_tmp/sweep-manifest.json" \
+    --out "$sweep_out" > /dev/null
+test -f "$sweep_out/campaign.json" || {
+    echo "error: resumed campaign did not merge" >&2
+    exit 1
+}
+first_shard="$(ls "$sweep_out/shards" | head -1)"
+./target/release/check_json "$json_tmp/sweep-manifest.json" manifests/sensitivity.json \
+    "$sweep_out/shards/$first_shard" "$sweep_out/campaign.json"
+
+echo "== sweep: negative (corrupted shard content hash must fail merge and check_json)"
+sed -i -E 's/"unit_key":"[0-9a-f]{16}"/"unit_key":"deadbeefdeadbeef"/' \
+    "$sweep_out/shards/"*.json
+if ./target/release/swque_sweep --manifest "$json_tmp/sweep-manifest.json" \
+    --out "$sweep_out" --merge-only > /dev/null 2>&1; then
+    echo "error: merge accepted a shard whose unit no longer matches its hash" >&2
+    exit 1
+fi
+if ./target/release/check_json "$sweep_out/shards/$first_shard" > /dev/null 2>&1; then
+    echo "error: check_json accepted a shard whose unit no longer matches its hash" >&2
+    exit 1
+fi
+
 # Hermeticity (no external deps in manifests, path-only Cargo.lock) is
 # enforced by the swque-lint gate above via the external-dep and
 # registry-source rules — one enforcement path instead of ad-hoc greps.

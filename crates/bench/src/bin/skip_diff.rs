@@ -1,0 +1,41 @@
+//! `skip_diff`: the quiescence-skip equivalence smoke behind verify.sh.
+//!
+//! Runs one pinned medium-model kernel and prints the **full**
+//! [`SimResult`](swque_cpu::SimResult) `Debug` rendering — every
+//! statistic field, recursively —
+//! to stdout. The verify gate runs this binary twice, once with
+//! `SWQUE_NO_SKIP=1` and once without, and diffs the outputs byte for
+//! byte: any divergence means quiescence skipping (DESIGN.md §10) changed
+//! simulated behaviour, which is a correctness bug, not a tuning issue.
+//!
+//! Skip counters go to stderr (outside the diff) so the gate can also
+//! assert the skip-on run actually skipped — a vacuous diff of two
+//! per-cycle runs proves nothing.
+//!
+//! Unlike the in-tree tests (which toggle skipping with `set_skip`), this
+//! binary deliberately reads the decision from the process environment via
+//! `Core::new` — it exists to exercise exactly that escape hatch.
+
+use swque_core::IqKind;
+use swque_cpu::{Core, CoreConfig};
+use swque_workloads::suite;
+
+/// MLP-heavy pinned kernel: long DRAM stalls make the skip path do real
+/// work, so the diff exercises large jumps, not just the machinery's
+/// no-op path.
+const KERNEL: &str = "xz_like";
+const SCALE: u64 = 6_000;
+const MAX_INSTS: u64 = 60_000;
+
+fn main() {
+    let kernel = suite::by_name(KERNEL).expect("pinned kernel exists");
+    let program = kernel.build_scaled(SCALE);
+    let mut core = Core::new(CoreConfig::medium(), IqKind::Swque, &program);
+    let result = core.run(MAX_INSTS);
+    println!("{result:#?}");
+    let (skips, skipped) = core.skip_stats();
+    eprintln!(
+        "[skip_diff] skip_enabled={} skips={skips} cycles_skipped={skipped}",
+        core.skip_enabled()
+    );
+}

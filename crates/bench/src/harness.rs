@@ -52,6 +52,27 @@ impl ProcessorModel {
 }
 
 /// One simulation request.
+///
+/// Construct via [`RunSpec::medium`]/[`RunSpec::large`] and override the
+/// handful of fields an experiment varies; [`RunSpec::config`] resolves
+/// the spec to a concrete [`CoreConfig`] with any controller-threshold
+/// overrides applied:
+///
+/// ```
+/// use swque_bench::RunSpec;
+/// use swque_core::IqKind;
+///
+/// let spec = RunSpec {
+///     warmup_insts: 1_000,
+///     max_insts: 5_000,
+///     scale: Some(500),          // shrink the kernel for a quick run
+///     mpki_threshold: Some(12.0), // controller sensitivity axis
+///     ..RunSpec::medium(IqKind::Swque)
+/// };
+/// assert_eq!(spec.config().iq.swque.mpki_threshold, 12.0);
+/// // Untouched fields keep the paper's Table 2/3 values.
+/// assert_eq!(spec.config().width, 6);
+/// ```
 #[derive(Debug, Clone)]
 pub struct RunSpec {
     /// Processor model.
@@ -143,6 +164,25 @@ pub fn run_kernel(kernel: &Kernel, spec: &RunSpec) -> SimResult {
 /// series exactly the way they would pollute IPC), then a fresh
 /// [`TRACE_CAPACITY`]-event ring observes the measurement and is reduced to
 /// a [`TraceSummary`].
+///
+/// ```
+/// use swque_bench::{run_kernel_traced, RunSpec};
+/// use swque_core::IqKind;
+/// use swque_workloads::suite;
+///
+/// let kernel = suite::by_name("deepsjeng_like").unwrap();
+/// let spec = RunSpec {
+///     warmup_insts: 2_000,
+///     max_insts: 10_000,
+///     scale: Some(1_000),
+///     ..RunSpec::medium(IqKind::Swque)
+/// };
+/// let (result, trace) = run_kernel_traced(&kernel, &spec);
+/// assert!(result.retired >= 9_000, "measured window excludes warmup");
+/// // The summary digests the ring: IPC interval samples land every 10k
+/// // retired instructions, so a short window may hold at most one.
+/// assert_eq!(trace.dropped, 0);
+/// ```
 pub fn run_kernel_traced(kernel: &Kernel, spec: &RunSpec) -> (SimResult, TraceSummary) {
     let program = kernel.build_seeded(spec.scale, spec.seed);
     let mut core = Core::new(spec.config(), spec.iq, &program);
@@ -194,6 +234,28 @@ pub fn run_suite_traced(specs: &[RunSpec]) -> Vec<SuiteRow> {
 /// the result is identical for any `workers` value — a property pinned by
 /// the `determinism` integration test. Empty kernel lists yield an empty
 /// result; `workers` is clamped to `1..=kernels.len()`.
+///
+/// ```
+/// use swque_bench::{run_suite_on, RunSpec};
+/// use swque_core::IqKind;
+/// use swque_workloads::suite;
+///
+/// let kernels = [
+///     suite::by_name("deepsjeng_like").unwrap(),
+///     suite::by_name("xz_like").unwrap(),
+/// ];
+/// let spec = RunSpec {
+///     warmup_insts: 1_000,
+///     max_insts: 5_000,
+///     scale: Some(500),
+///     ..RunSpec::medium(IqKind::Circ)
+/// };
+/// let rows = run_suite_on(&kernels, &[spec], 2);
+/// // Row order follows the kernel list, not thread completion order.
+/// assert_eq!(rows[0].kernel.name, "deepsjeng_like");
+/// assert_eq!(rows[1].kernel.name, "xz_like");
+/// assert_eq!(rows[0].results.len(), 1);
+/// ```
 pub fn run_suite_on(kernels: &[Kernel], specs: &[RunSpec], workers: usize) -> Vec<SuiteRow> {
     sweep(kernels, specs, false, workers)
 }

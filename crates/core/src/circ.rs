@@ -16,6 +16,7 @@
 //! keeps circular allocation but always selects in true age order — the
 //! upper bound that CIRC-PC (paper §3.1) approaches with real hardware.
 
+use crate::horizon::WakeHorizon;
 use crate::queue::{IqConfig, IssueQueue};
 use crate::slots::SlotArray;
 use crate::stats::IqStats;
@@ -187,6 +188,20 @@ impl IssueQueue for CircQueue {
         self.slots.wakeup(tag);
     }
 
+    fn has_ready(&self) -> bool {
+        self.slots.any_ready()
+    }
+
+    fn idle_tick(&mut self, cycles: u64) {
+        self.stats.selects += cycles;
+        self.stats.occupancy_sum += cycles * self.slots.len() as u64;
+        self.stats.region_sum += cycles * self.region as u64;
+        // With nothing ready, each per-cycle select would only re-run
+        // advance_head — which converges after one call (no grants remove
+        // entries, so the head meets the same first valid slot every time).
+        self.advance_head();
+    }
+
     fn select(&mut self, budget: &mut IssueBudget) -> Vec<Grant> {
         self.stats.selects += 1;
         self.stats.occupancy_sum += self.slots.len() as u64;
@@ -236,6 +251,12 @@ impl IssueQueue for CircQueue {
 
     fn stats(&self) -> IqStats {
         self.stats
+    }
+}
+
+impl WakeHorizon for CircQueue {
+    fn wake_horizon(&self, _now: u64) -> Option<u64> {
+        None // purely reactive: state changes only via wakeup/select/dispatch
     }
 }
 

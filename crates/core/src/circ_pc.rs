@@ -20,6 +20,7 @@
 //! paper's §4.4 result is that this costs almost nothing, because ready
 //! wrapped instructions are young and latency-tolerant.
 
+use crate::horizon::WakeHorizon;
 use crate::queue::{IqConfig, IssueQueue};
 use crate::slots::SlotArray;
 use crate::stats::IqStats;
@@ -163,6 +164,27 @@ impl IssueQueue for CircPcQueue {
         self.slots.wakeup(tag);
     }
 
+    fn has_ready(&self) -> bool {
+        self.slots.any_ready()
+    }
+
+    fn idle_tick(&mut self, cycles: u64) {
+        self.stats.selects += cycles;
+        self.stats.occupancy_sum += cycles * self.slots.len() as u64;
+        self.stats.region_sum += cycles * self.region as u64;
+        // With the ready plane empty, every PTL entry is stale: a live
+        // S_RV-selected entry keeps its ready bit until it merges, so
+        // valid ∧ pending_rv ⇒ ready. The per-cycle DTM merge would drain
+        // and drop these stale positions on the first select; replicate.
+        debug_assert!(self.pending.iter().all(|&pos| {
+            let s = self.slots.get(pos);
+            !(s.valid && s.pending_rv)
+        }));
+        self.pending.clear();
+        // S_NR/S_RV grant nothing, so advance_head has already converged.
+        self.advance_head();
+    }
+
     fn select(&mut self, budget: &mut IssueBudget) -> Vec<Grant> {
         self.stats.selects += 1;
         self.stats.occupancy_sum += self.slots.len() as u64;
@@ -273,6 +295,14 @@ impl IssueQueue for CircPcQueue {
 
     fn stats(&self) -> IqStats {
         self.stats
+    }
+}
+
+impl WakeHorizon for CircPcQueue {
+    fn wake_horizon(&self, _now: u64) -> Option<u64> {
+        // The PTL pipeline is clocked by select() calls, not by wall cycles,
+        // and with nothing ready no PTL entry is live — purely reactive.
+        None
     }
 }
 

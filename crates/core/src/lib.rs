@@ -62,6 +62,7 @@ pub mod bitset;
 mod circ;
 mod circ_pc;
 mod controller;
+mod horizon;
 mod queue;
 mod random_queue;
 mod rearrange;
@@ -76,6 +77,7 @@ pub use bitset::BitSet;
 pub use circ::CircQueue;
 pub use circ_pc::CircPcQueue;
 pub use controller::{IntervalMetrics, ModeDecision, SwqueController, SwqueParams};
+pub use horizon::{min_horizon, WakeHorizon};
 pub use queue::{BucketSpec, IqConfig, IqKind, IssueQueue};
 pub use random_queue::RandomQueue;
 pub use rearrange::RearrangingQueue;

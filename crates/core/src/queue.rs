@@ -7,6 +7,7 @@ use swque_trace::TraceHandle;
 use crate::circ::CircQueue;
 use crate::circ_pc::CircPcQueue;
 use crate::controller::SwqueParams;
+use crate::horizon::WakeHorizon;
 use crate::random_queue::RandomQueue;
 use crate::rearrange::RearrangingQueue;
 use crate::shift::ShiftQueue;
@@ -184,7 +185,15 @@ impl fmt::Display for IqKind {
 /// 3. [`dispatch`](IssueQueue::dispatch) for instructions entering the queue
 ///    (dispatch phase — after issue, so same-cycle dispatch-and-issue is
 ///    impossible, as in hardware).
-pub trait IssueQueue: fmt::Debug {
+///
+/// Queues also participate in quiescence skipping (DESIGN.md §10): the core
+/// consults [`has_ready`](IssueQueue::has_ready) when proving no instruction
+/// can issue, replays skipped cycles in bulk via
+/// [`idle_tick`](IssueQueue::idle_tick), and inherits the [`WakeHorizon`]
+/// contract (default `None`: every organization here is purely reactive —
+/// SWQUE's switch penalty is charged through the core's fetch stall, which
+/// has its own horizon).
+pub trait IssueQueue: fmt::Debug + WakeHorizon {
     /// The paper's name for this organization.
     fn name(&self) -> &'static str;
 
@@ -219,6 +228,25 @@ pub trait IssueQueue: fmt::Debug {
     /// priority order, removing them from the queue. Must be called exactly
     /// once per simulated cycle (it also advances per-cycle bookkeeping).
     fn select(&mut self, budget: &mut IssueBudget) -> Vec<Grant>;
+
+    /// True if at least one entry has all source operands ready — i.e. a
+    /// call to [`select`](IssueQueue::select) with a non-zero budget could
+    /// grant something this cycle. Must be a pure query (no bookkeeping).
+    fn has_ready(&self) -> bool;
+
+    /// Replays `cycles` consecutive idle cycles in one call, advancing
+    /// exactly the bookkeeping that `cycles` individual
+    /// [`select`](IssueQueue::select) calls would have advanced.
+    ///
+    /// # Precondition
+    ///
+    /// [`has_ready`](IssueQueue::has_ready) is `false` and stays false for
+    /// the whole window (the core guarantees this: no wakeups, dispatches,
+    /// or squashes happen during a skip). Under that precondition the queue
+    /// must end in *exactly* the state `cycles` empty selects would have
+    /// produced — statistics included — so that skip-on and skip-off runs
+    /// stay byte-identical.
+    fn idle_tick(&mut self, cycles: u64);
 
     /// Empties the queue (pipeline flush).
     fn flush(&mut self);

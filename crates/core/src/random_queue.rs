@@ -12,6 +12,7 @@
 use swque_isa::FuClass;
 
 use crate::age_matrix::AgeMatrix;
+use crate::horizon::WakeHorizon;
 use crate::queue::{BucketSpec, IqConfig, IssueQueue};
 use crate::slots::SlotArray;
 use crate::stats::IqStats;
@@ -173,6 +174,19 @@ impl IssueQueue for RandomQueue {
         self.slots.wakeup(tag);
     }
 
+    fn has_ready(&self) -> bool {
+        self.slots.any_ready()
+    }
+
+    fn idle_tick(&mut self, cycles: u64) {
+        // With an empty ready plane both select phases are pure reads (the
+        // age matrices only nominate; nomination with no ready bits returns
+        // nothing) — only the per-cycle averages advance.
+        self.stats.selects += cycles;
+        self.stats.occupancy_sum += cycles * self.slots.len() as u64;
+        self.stats.region_sum += cycles * self.slots.len() as u64;
+    }
+
     fn select(&mut self, budget: &mut IssueBudget) -> Vec<Grant> {
         self.stats.selects += 1;
         self.stats.occupancy_sum += self.slots.len() as u64;
@@ -242,6 +256,12 @@ impl IssueQueue for RandomQueue {
 
     fn stats(&self) -> IqStats {
         self.stats
+    }
+}
+
+impl WakeHorizon for RandomQueue {
+    fn wake_horizon(&self, _now: u64) -> Option<u64> {
+        None // purely reactive: state changes only via wakeup/select/dispatch
     }
 }
 

@@ -16,6 +16,7 @@
 //! the old set in age order before falling back to positional order.
 
 use crate::bitset::BitSet;
+use crate::horizon::WakeHorizon;
 use crate::queue::{IqConfig, IssueQueue};
 use crate::slots::SlotArray;
 use crate::stats::IqStats;
@@ -184,6 +185,28 @@ impl IssueQueue for RearrangingQueue {
         self.slots.wakeup(tag);
     }
 
+    fn has_ready(&self) -> bool {
+        self.slots.any_ready()
+    }
+
+    fn idle_tick(&mut self, cycles: u64) {
+        self.stats.selects += cycles;
+        self.stats.occupancy_sum += cycles * self.slots.len() as u64;
+        self.stats.region_sum += cycles * self.slots.len() as u64;
+        // The promotion machinery still runs while nothing is ready:
+        // move_width entries per cycle until the old queue fills or the
+        // candidates run out. rearrange() only ever inserts, so an
+        // unchanged old-queue length means it reached its fixpoint and
+        // every remaining idle cycle is a no-op.
+        for _ in 0..cycles {
+            let before = self.old.len();
+            self.rearrange();
+            if self.old.len() == before {
+                break;
+            }
+        }
+    }
+
     fn select(&mut self, budget: &mut IssueBudget) -> Vec<Grant> {
         self.stats.selects += 1;
         self.stats.occupancy_sum += self.slots.len() as u64;
@@ -250,6 +273,14 @@ impl IssueQueue for RearrangingQueue {
 
     fn stats(&self) -> IqStats {
         self.stats
+    }
+}
+
+impl WakeHorizon for RearrangingQueue {
+    fn wake_horizon(&self, _now: u64) -> Option<u64> {
+        // Promotion is clocked by select()/idle_tick(), not wall cycles,
+        // and promotions never make an entry ready — purely reactive.
+        None
     }
 }
 

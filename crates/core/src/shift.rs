@@ -6,6 +6,7 @@
 //! the IPC upper bound among the conventional queues, at the cost of circuit
 //! complexity the paper's delay/energy analysis charges against it.
 
+use crate::horizon::WakeHorizon;
 use crate::queue::{IqConfig, IssueQueue};
 use crate::stats::IqStats;
 use crate::types::{DispatchReq, Grant, IqFullError, IssueBudget, Tag};
@@ -96,6 +97,18 @@ impl IssueQueue for ShiftQueue {
         }
     }
 
+    fn has_ready(&self) -> bool {
+        self.entries.iter().any(Entry::ready)
+    }
+
+    fn idle_tick(&mut self, cycles: u64) {
+        // An empty select only advances the per-cycle averages; nothing
+        // compacts because nothing issues.
+        self.stats.selects += cycles;
+        self.stats.occupancy_sum += cycles * self.entries.len() as u64;
+        self.stats.region_sum += cycles * self.entries.len() as u64;
+    }
+
     fn select(&mut self, budget: &mut IssueBudget) -> Vec<Grant> {
         self.stats.selects += 1;
         self.stats.occupancy_sum += self.entries.len() as u64;
@@ -137,6 +150,12 @@ impl IssueQueue for ShiftQueue {
 
     fn stats(&self) -> IqStats {
         self.stats
+    }
+}
+
+impl WakeHorizon for ShiftQueue {
+    fn wake_horizon(&self, _now: u64) -> Option<u64> {
+        None // purely reactive: state changes only via wakeup/select/dispatch
     }
 }
 

@@ -132,6 +132,13 @@ impl SlotArray {
         self.ready.words()
     }
 
+    /// True if any slot raises an issue request (the quiescence-skip query;
+    /// a whole-plane emptiness test, no per-slot walk).
+    #[inline]
+    pub fn any_ready(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
     /// Packed CIRC-PC reverse flags.
     #[inline]
     pub fn reverse_words(&self) -> &[u64] {

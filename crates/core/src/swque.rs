@@ -17,6 +17,7 @@ use swque_trace::{TraceEvent, TraceHandle};
 
 use crate::circ_pc::CircPcQueue;
 use crate::controller::{IntervalMetrics, ModeDecision, SwqueController, SwqueParams};
+use crate::horizon::WakeHorizon;
 use crate::queue::{IqConfig, IssueQueue};
 use crate::random_queue::RandomQueue;
 use crate::stats::{IqStats, SwqueStats};
@@ -154,6 +155,25 @@ impl IssueQueue for Swque {
         self.active_mut().select(budget)
     }
 
+    fn has_ready(&self) -> bool {
+        match self.effective_mode() {
+            IqMode::Age => self.age.has_ready(),
+            _ => self.circ_pc.has_ready(),
+        }
+    }
+
+    fn idle_tick(&mut self, cycles: u64) {
+        // Mode residency accrues exactly as `cycles` selects would have
+        // charged it; the skip cannot straddle a mode switch because a
+        // pending switch keeps poll_mode_switch returning true, which
+        // flushes before the core ever reaches a quiescent cycle.
+        match self.effective_mode() {
+            IqMode::Age => self.stats.cycles_age += cycles,
+            _ => self.stats.cycles_circ_pc += cycles,
+        }
+        self.active_mut().idle_tick(cycles);
+    }
+
     fn squash_younger(&mut self, seq: u64) {
         self.circ_pc.squash_younger(seq);
         self.age.squash_younger(seq);
@@ -248,6 +268,16 @@ impl IssueQueue for Swque {
 
     fn attach_trace(&mut self, trace: &TraceHandle) {
         self.trace = trace.clone();
+    }
+}
+
+impl WakeHorizon for Swque {
+    fn wake_horizon(&self, _now: u64) -> Option<u64> {
+        // Interval boundaries are retirement-counted, not cycle-counted,
+        // and the switch penalty is charged through the core's fetch stall
+        // (which has its own horizon) — nothing here is clocked by wall
+        // cycles.
+        None
     }
 }
 

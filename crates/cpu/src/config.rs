@@ -31,6 +31,12 @@ pub struct CoreConfig {
     pub predictor: PredictorConfig,
     /// Memory hierarchy (Table 2 caches, prefetcher, DRAM).
     pub mem: MemConfig,
+    /// Quiescence skipping (DESIGN.md §10): when the core proves no stage
+    /// can act this cycle, jump the clock to the next wake horizon instead
+    /// of ticking. Simulated timing and statistics are byte-identical
+    /// either way (the skip differential pins this); the flag exists for
+    /// the differential itself and the `SWQUE_NO_SKIP` escape hatch.
+    pub skip: bool,
 }
 
 impl CoreConfig {
@@ -52,6 +58,7 @@ impl CoreConfig {
             },
             predictor: PredictorConfig::default(),
             mem: MemConfig::default(),
+            skip: true,
         }
     }
 
@@ -88,6 +95,7 @@ impl CoreConfig {
             iq: IqConfig { capacity: 8, issue_width: 2, ..IqConfig::default() },
             predictor: PredictorConfig::default(),
             mem: MemConfig::default(),
+            skip: true,
         }
     }
 

@@ -28,12 +28,26 @@
 //! * **Mode switches** (SWQUE) perform a *full* pipeline flush: in-flight
 //!   instructions are replayed through the front end (they are correct-path
 //!   by construction), and fetch stalls for the switch penalty.
+//!
+//! # Quiescence skipping
+//!
+//! Between [`Core::step_cycle`] calls, [`Core::run`] asks
+//! [`Core::quiescent_horizon`] whether the next cycle could change any
+//! architectural or queue state. When it provably cannot — no ROB head
+//! ready to commit, no completion event due, no ready IQ entry, every
+//! pending load blocked, dispatch gated, fetch stalled or starved — the
+//! clock jumps straight to the earliest [`WakeHorizon`] reported by the
+//! FU pool, the memory hierarchy, and the issue queue, and the per-cycle
+//! bookkeeping (`iq_stall_cycles`, queue occupancy averages, SWQUE mode
+//! residency) is bulk-advanced. Results are byte-identical with skipping
+//! on or off (DESIGN.md §10); `SWQUE_NO_SKIP=1` or
+//! [`Core::set_skip`] force the per-cycle path.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use swque_branch::{BranchKind, BranchOutcome, BranchPredictor};
-use swque_core::{DispatchReq, IqKind, IqMode, IssueBudget, IssueQueue};
+use swque_core::{min_horizon, DispatchReq, IqKind, IqMode, IssueBudget, IssueQueue, WakeHorizon};
 use swque_isa::{Emulator, Opcode, Program, Retired, ShadowEmulator};
 use swque_mem::{AccessKind, MemoryHierarchy};
 use swque_trace::{TraceEvent, TraceHandle};
@@ -156,6 +170,15 @@ pub struct Core {
     /// set, the pipeline is frozen and the run loop stops.
     violation: Option<InvariantViolation>,
 
+    /// Quiescence skipping armed (config flag ∧ no `SWQUE_NO_SKIP`; see
+    /// [`Core::set_skip`]).
+    skip_enabled: bool,
+    /// Number of clock jumps taken (host-side observability only — never
+    /// part of [`SimResult`], which must be skip-invariant).
+    skips_taken: u64,
+    /// Total cycles covered by those jumps.
+    cycles_skipped: u64,
+
     stats: CoreStats,
 }
 
@@ -164,6 +187,8 @@ impl Core {
     pub fn new(config: CoreConfig, kind: IqKind, program: &Program) -> Core {
         let iq = kind.build(&config.iq);
         let interval = config.iq.swque.interval_insts.max(1);
+        // swque-lint: allow(env-read) — SWQUE_NO_SKIP is the documented skip-equivalence escape hatch (verify.sh diffs a run with and without it); tests use set_skip instead of mutating the environment
+        let skip_enabled = config.skip && std::env::var_os("SWQUE_NO_SKIP").is_none();
         Core {
             emu: Emulator::new(program),
             mem: MemoryHierarchy::new(config.mem),
@@ -191,6 +216,9 @@ impl Core {
             ipc_window_start: (0, 0),
             stall_run_start: None,
             violation: None,
+            skip_enabled,
+            skips_taken: 0,
+            cycles_skipped: 0,
             stats: CoreStats::default(),
             config,
         }
@@ -256,17 +284,48 @@ impl Core {
     pub fn run(&mut self, max_insts: u64) -> SimResult {
         while self.retired < max_insts && !self.finished() && self.violation.is_none() {
             self.step_cycle();
-            if self.cycle.saturating_sub(self.last_retire_cycle) >= DEADLOCK_LIMIT {
-                self.invariant(
-                    "progress",
-                    format!(
-                        "no retirement for {DEADLOCK_LIMIT} cycles (retired {}); pipeline wedged",
-                        self.retired
-                    ),
-                );
+            self.check_progress();
+            if self.skip_enabled && self.violation.is_none() {
+                self.skip_quiescent(max_insts);
+                self.check_progress();
             }
         }
         self.result()
+    }
+
+    /// The deadlock invariant: fires (with the same cycle stamp whether the
+    /// clock ticked or jumped there) when nothing has retired for
+    /// [`DEADLOCK_LIMIT`] cycles.
+    fn check_progress(&mut self) {
+        if self.cycle.saturating_sub(self.last_retire_cycle) >= DEADLOCK_LIMIT {
+            self.invariant(
+                "progress",
+                format!(
+                    "no retirement for {DEADLOCK_LIMIT} cycles (retired {}); pipeline wedged",
+                    self.retired
+                ),
+            );
+        }
+    }
+
+    /// Enables or disables quiescence skipping for this core. Used by the
+    /// skip differential (and anyone comparing against the per-cycle path)
+    /// — tests switch this programmatically instead of mutating
+    /// `SWQUE_NO_SKIP`, which would race other threads in-process.
+    pub fn set_skip(&mut self, on: bool) {
+        self.skip_enabled = on;
+    }
+
+    /// Whether quiescence skipping is currently armed.
+    pub fn skip_enabled(&self) -> bool {
+        self.skip_enabled
+    }
+
+    /// `(jumps_taken, cycles_skipped)` so far — host-side observability for
+    /// the skip machinery. Deliberately *not* part of [`SimResult`]: results
+    /// must be byte-identical with skipping on or off.
+    pub fn skip_stats(&self) -> (u64, u64) {
+        (self.skips_taken, self.cycles_skipped)
     }
 
     /// Snapshot of the statistics so far.
@@ -322,6 +381,172 @@ impl Core {
         self.fetch();
         self.poll_mode_switch();
         self.cycle += 1;
+    }
+
+    // ---- quiescence skipping (DESIGN.md §10) ----
+
+    /// The quiescence predicate: decides whether the *next*
+    /// [`step_cycle`](Self::step_cycle) could change any architectural or
+    /// queue state, and if not, how far the clock may jump.
+    ///
+    /// Returns `None` when some stage could act this cycle (the core must
+    /// tick normally), or `Some(h)` with `h > self.cycle()` when every
+    /// stage is provably idle until at least `h`: `h` is the minimum of the
+    /// timed wake-ups (completion events, fetch stall expiry, front-end
+    /// `ready_at`, pending-load AGU times, and every subsystem's
+    /// [`WakeHorizon`]) capped at the deadlock limit, so a fully wedged
+    /// pipeline jumps straight to the cycle at which the progress invariant
+    /// fires — with the identical cycle stamp the per-cycle path produces.
+    ///
+    /// Pure: a query over `&self`, usable by tests to cross-check any
+    /// claimed horizon against a per-cycle reference run.
+    pub fn quiescent_horizon(&self) -> Option<u64> {
+        if self.finished() {
+            return None; // run loop exits; jumping would inflate `cycles`
+        }
+        let mut horizon: Option<u64> = None;
+
+        // Commit: a Done ROB head retires this cycle.
+        if matches!(self.rob.head(), Some(h) if h.state == RobState::Done) {
+            return None;
+        }
+        // IPC interval trace: would emit if retired crossed the mark.
+        // (Unreachable while retired is frozen — the mark is re-armed past
+        // `retired` by the first traced step — but stated defensively.)
+        if self.trace.enabled() && self.retired >= self.next_ipc_mark {
+            return None;
+        }
+        // Writeback: the earliest completion event is either due or a
+        // horizon.
+        if let Some(&Reverse((t, _, _))) = self.events.peek() {
+            if t <= self.cycle {
+                return None;
+            }
+            horizon = min_horizon(horizon, Some(t));
+        }
+        // Issue: a ready IQ entry could be granted (or, for CIRC-PC, at
+        // least advance the S_RV/PTL machinery) — tick normally.
+        if self.iq.has_ready() {
+            return None;
+        }
+        // Execute: every pending load is either timed (horizon) or blocked
+        // in the LSQ (quiet until a store executes, which needs an issue).
+        for &(ready, uid) in &self.pending_loads {
+            if ready > self.cycle {
+                horizon = min_horizon(horizon, Some(ready));
+            } else if !matches!(self.lsq.load_action(uid), LoadAction::Wait) {
+                return None;
+            }
+        }
+        // Dispatch: the front instruction is timed, gated, or would go.
+        if let Some(front) = self.decode_q.front() {
+            if front.ready_at > self.cycle {
+                horizon = min_horizon(horizon, Some(front.ready_at));
+            } else {
+                let inst = front.front.oracle.inst;
+                let op = inst.op;
+                let needs_iq = op != Opcode::Nop;
+                let blocked = !self.rob.has_space()
+                    || (needs_iq && !self.iq.has_space())
+                    || (op.is_mem() && !self.lsq.has_space())
+                    || inst
+                        .dest()
+                        .is_some_and(|r| self.rename.free_count(r.class) == 0);
+                if !blocked {
+                    return None;
+                }
+            }
+        }
+        // Fetch: stalled (horizon — capped here even when the wrong path is
+        // dead, so a skip window never straddles the stall expiry and the
+        // per-cycle mispredict-stall accounting stays exact), idle on a
+        // dead wrong path, or it would fetch.
+        if self.cycle < self.fetch_stalled_until {
+            horizon = min_horizon(horizon, Some(self.fetch_stalled_until));
+        } else if !matches!(&self.wrong_path, Some(wp) if wp.dead) {
+            let has_source = self.wrong_path.is_some()
+                || !self.replay.is_empty()
+                || !self.emu_halted;
+            if has_source && self.decode_q.len() < self.decode_capacity() {
+                return None;
+            }
+        }
+        // Subsystem wake horizons (the WakeHorizon contract).
+        horizon = min_horizon(horizon, self.fus.wake_horizon(self.cycle));
+        horizon = min_horizon(horizon, self.mem.wake_horizon(self.cycle));
+        horizon = min_horizon(horizon, self.iq.wake_horizon(self.cycle));
+
+        // Nothing will ever wake a fully quiet pipeline: jump to the cycle
+        // at which the progress invariant declares it wedged.
+        let cap = self.last_retire_cycle + DEADLOCK_LIMIT;
+        Some(horizon.unwrap_or(cap).min(cap))
+    }
+
+    /// Mirrors the gating of the *first* instruction in
+    /// [`dispatch`](Self::dispatch): true iff dispatch would charge an
+    /// `iq_stall_cycles` tick this cycle. Only meaningful under the
+    /// quiescence predicate (which guarantees the instruction cannot
+    /// actually dispatch).
+    fn dispatch_iq_blocked(&self) -> bool {
+        let Some(front) = self.decode_q.front() else { return false };
+        if front.ready_at > self.cycle {
+            return false;
+        }
+        let op = front.front.oracle.inst.op;
+        if !self.rob.has_space() {
+            return false;
+        }
+        op != Opcode::Nop && !self.iq.has_space()
+    }
+
+    /// Attempts one clock jump: no-op unless the pipeline is quiescent.
+    /// The `retired`/`finished` guards keep the jump from covering cycles
+    /// the per-cycle loop would never have simulated (it exits as soon as
+    /// its bounds are met).
+    fn skip_quiescent(&mut self, max_insts: u64) {
+        if self.retired >= max_insts || self.finished() {
+            return;
+        }
+        let Some(h) = self.quiescent_horizon() else { return };
+        let n = h.saturating_sub(self.cycle);
+        if n == 0 {
+            return;
+        }
+        self.advance_quiescent(n);
+        self.skips_taken += 1;
+        self.cycles_skipped += n;
+    }
+
+    /// Replays `n` provably idle cycles in bulk: exactly the bookkeeping
+    /// `n` calls to [`step_cycle`](Self::step_cycle) would have done under
+    /// the quiescence predicate, with every stage's state unchanged.
+    fn advance_quiescent(&mut self, n: u64) {
+        // Dispatch accounting: the gate outcome is stable for the whole
+        // window (nothing dispatches, wakes, or frees during it).
+        let iq_blocked = self.dispatch_iq_blocked();
+        if iq_blocked {
+            self.stats.iq_stall_cycles += n;
+        }
+        if self.trace.enabled() {
+            // The stall-run tracker transitions only on a change of
+            // `blocked`, so one call with the window's stable value is
+            // equivalent to n per-cycle calls (episode start/end cycles
+            // land identically).
+            self.trace_dispatch_stall(iq_blocked);
+        }
+        // Fetch accounting: past the stall window (the predicate caps
+        // skips at `fetch_stalled_until`, so `cycle >= fetch_stalled_until`
+        // here means every skipped cycle is too), a dead wrong path charges
+        // one mispredict-stall cycle per cycle.
+        if self.cycle >= self.fetch_stalled_until
+            && matches!(&self.wrong_path, Some(wp) if wp.dead)
+        {
+            self.stats.mispredict_stall_cycles += n;
+        }
+        // Queue per-cycle bookkeeping (occupancy averages, SWQUE mode
+        // residency, REARRANGE promotions).
+        self.iq.idle_tick(n);
+        self.cycle += n;
     }
 
     // ---- commit ----

@@ -4,6 +4,7 @@
 //! the integer divider and FP divide/sqrt, which occupy their unit for the
 //! full operation latency, as in SimpleScalar's resource model.
 
+use swque_core::WakeHorizon;
 use swque_isa::{FuClass, Opcode};
 
 /// Pool of function units with busy-until bookkeeping.
@@ -71,6 +72,23 @@ impl FuPool {
         for class in &mut self.busy_until {
             class.fill(0);
         }
+    }
+}
+
+impl WakeHorizon for FuPool {
+    /// Earliest cycle a currently busy unit frees up again.
+    ///
+    /// In practice this never bounds a skip — quiescence requires no ready
+    /// IQ entries, so nothing is waiting to acquire a unit — but the
+    /// contract (DESIGN.md §10) is that every timed subsystem reports its
+    /// state honestly rather than relying on the predicate's other clauses.
+    fn wake_horizon(&self, now: u64) -> Option<u64> {
+        self.busy_until
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&b| b > now)
+            .min()
     }
 }
 

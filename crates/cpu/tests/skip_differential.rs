@@ -1,0 +1,164 @@
+//! Skip differential: quiescence skipping (DESIGN.md §10) must be
+//! *invisible* — every simulated cycle count and every statistic must come
+//! out byte-identical whether the core ticks through idle windows one
+//! cycle at a time or jumps them in bulk.
+//!
+//! Two gates:
+//!
+//! 1. **Lockstep differential** — for every issue-queue organization, a
+//!    medium-model run with skipping on and the same run with skipping
+//!    off must produce `SimResult`s whose `Debug` renderings are equal
+//!    byte-for-byte (this covers every statistic field, recursively).
+//!    The test also asserts non-vacuity: at least one run per kernel must
+//!    actually take skips, so the equality is not trivially comparing two
+//!    per-cycle runs.
+//!
+//! 2. **Never-overshoot property** — on random programs, tick a core
+//!    per-cycle and cross-examine the pure [`Core::quiescent_horizon`]
+//!    query: once it promises quiescence until `h`, the promise must hold
+//!    verbatim at every intermediate cycle. If any subsystem would have
+//!    changed state at a cycle `c < h`, the predicate at `c` would return
+//!    `None` (or a different horizon) and the assertion fires — exactly
+//!    the overshoot a bulk jump would have committed.
+//!
+//! Tests toggle skipping with [`Core::set_skip`], never by mutating
+//! `SWQUE_NO_SKIP` (process environment is shared across test threads).
+
+use swque_core::IqKind;
+use swque_cpu::{Core, CoreConfig};
+use swque_isa::{Assembler, Program, Reg};
+use swque_rng::prop::check;
+use swque_workloads::suite;
+
+const RUN_INSTS: u64 = 20_000;
+const SCALE: u64 = 4_000;
+
+/// Runs `kernel` under `kind` with skipping forced on or off; returns the
+/// full `SimResult` debug rendering and the `(skips, cycles_skipped)`
+/// counters.
+fn run(kind: IqKind, kernel: &str, skip: bool) -> (String, (u64, u64)) {
+    let k = suite::by_name(kernel).expect("kernel exists");
+    let program = k.build_scaled(SCALE);
+    let mut core = Core::new(CoreConfig::medium(), kind, &program);
+    core.set_skip(skip);
+    let r = core.run(RUN_INSTS);
+    (format!("{r:?}"), core.skip_stats())
+}
+
+fn differential(kernel: &str) {
+    let mut any_skips = false;
+    for kind in IqKind::ALL {
+        let (with_skip, (skips, skipped)) = run(kind, kernel, true);
+        let (without, off_stats) = run(kind, kernel, false);
+        assert_eq!(off_stats, (0, 0), "{kind}: set_skip(false) must disable skipping");
+        assert_eq!(
+            with_skip, without,
+            "{kind} on {kernel}: SimResult diverges between skip-on and skip-off"
+        );
+        println!("{kernel} {kind}: {skips} skips, {skipped} cycles skipped");
+        if skips > 0 {
+            assert!(skipped >= skips, "each skip advances at least one cycle");
+            any_skips = true;
+        }
+    }
+    assert!(
+        any_skips,
+        "{kernel}: no queue kind took a single skip — the differential is vacuous"
+    );
+}
+
+/// ILP-bound kernel: short idle windows, exercises skip/no-skip
+/// interleaving at fine grain.
+#[test]
+fn skip_differential_deepsjeng_like() {
+    differential("deepsjeng_like");
+}
+
+/// MLP-bound kernel: long DRAM stalls, exercises large jumps and the
+/// interval/stat bulk-advance paths.
+#[test]
+fn skip_differential_xz_like() {
+    differential("xz_like");
+}
+
+/// A small random program: serial dependent loads (long idle windows)
+/// mixed with ALU work and a bounded loop, guaranteed to terminate.
+fn random_program(g: &mut swque_rng::prop::Gen) -> Program {
+    let body: Vec<u8> = g.vec(3..16, |g| g.u8());
+    let iters = g.gen_range(1u8..20);
+    let mut a = Assembler::new();
+    a.data_u64s(0x1000, &(0..64u64).map(|i| i * 0x9E37 + 1).collect::<Vec<_>>());
+    a.li(Reg(1), iters as i64 + 1);
+    a.li(Reg(2), 0x1000);
+    a.li(Reg(3), 1);
+    a.label("loop");
+    for (i, b) in body.iter().enumerate() {
+        let dst = Reg(4 + (i % 10) as u8);
+        let src = Reg(4 + ((i + 7) % 10) as u8);
+        match b % 6 {
+            0 => a.add(dst, src, Reg(3)),
+            1 => a.mul(dst, src, Reg(3)),
+            2 | 3 => {
+                // Dependent load chain: serializes the pipeline and opens
+                // an idle window the length of the memory latency.
+                a.andi(dst, src, 0x1F8);
+                a.add(dst, dst, Reg(2));
+                a.ld(dst, dst, 0);
+            }
+            4 => {
+                a.andi(dst, src, 0x1F8);
+                a.add(dst, dst, Reg(2));
+                a.st(Reg(3), dst, 0);
+            }
+            _ => a.xori(dst, src, *b as i64),
+        }
+    }
+    a.addi(Reg(1), Reg(1), -1);
+    a.bne(Reg(1), Reg::ZERO, "loop");
+    a.halt();
+    a.finish().expect("valid labels")
+}
+
+/// The horizon never overshoots: once `quiescent_horizon()` promises
+/// `Some(h)` at cycle `C`, per-cycle ticking must find the pipeline still
+/// quiescent — with the *same* horizon — at every cycle in `(C, h)`.
+/// During true quiescence nothing but the clock moves, so the pure
+/// predicate must be stable; any instability means a subsystem changed
+/// state inside a window a skip would have jumped over.
+#[test]
+fn horizon_never_overshoots() {
+    check(24, |g| {
+        let program = random_program(g);
+        for kind in [IqKind::Shift, IqKind::CircPc, IqKind::Swque] {
+            let mut core = Core::new(CoreConfig::tiny(), kind, &program);
+            core.set_skip(false); // tick per-cycle; the horizon is only queried
+            let mut promised: Option<u64> = None;
+            let mut windows = 0u32;
+            for _ in 0..200_000u32 {
+                if core.finished() {
+                    break;
+                }
+                let q = core.quiescent_horizon();
+                if let Some(h) = promised {
+                    if core.cycle() < h {
+                        assert_eq!(
+                            q,
+                            Some(h),
+                            "{kind}: promised quiescence until {h}, but at \
+                             cycle {} the predicate changed — a skip would \
+                             have jumped over a state change",
+                            core.cycle()
+                        );
+                    }
+                }
+                if q.is_some() && promised != q {
+                    windows += 1;
+                }
+                promised = q;
+                core.step_cycle();
+            }
+            assert!(core.finished(), "{kind}: random program drains");
+            assert!(windows > 0, "{kind}: no quiescent window seen — property is vacuous");
+        }
+    });
+}

@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 
+use swque_core::WakeHorizon;
 use swque_trace::{TraceEvent, TraceHandle};
 
 use crate::cache::Cache;
@@ -246,6 +247,24 @@ impl MemoryHierarchy {
         }
 
         AccessResult { done_at, l1_hit: false, l2_hit }
+    }
+}
+
+impl WakeHorizon for MemoryHierarchy {
+    /// Earliest in-flight MSHR or L2 fill completion still in the future.
+    ///
+    /// `purge` is lazy (entries at or before `now` linger until the maps
+    /// grow past their thresholds), so stale completions are filtered here
+    /// rather than assumed absent. `dram.next_free` is deliberately *not* a
+    /// horizon: bandwidth occupancy only delays requests that have not been
+    /// made yet — it wakes nothing on its own.
+    fn wake_horizon(&self, now: u64) -> Option<u64> {
+        self.mshr
+            .values()
+            .chain(self.inflight_l2.values())
+            .copied()
+            .filter(|&done| done > now)
+            .min()
     }
 }
 

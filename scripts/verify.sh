@@ -78,6 +78,22 @@ echo "== perf gate: perf_gate --smoke -> check_json"
 SWQUE_JSON="$json_tmp/BENCH_TIER1.json" ./target/release/perf_gate --smoke > /dev/null
 ./target/release/check_json "$json_tmp/BENCH_TIER1.json"
 
+echo "== skip equivalence: skip_diff with and without SWQUE_NO_SKIP"
+# Quiescence skipping (DESIGN.md §10) must be invisible in simulated
+# behaviour: the full SimResult of one MLP-heavy kernel, byte for byte.
+# Counters on stderr prove the skip-on run actually skipped (non-vacuity).
+./target/release/skip_diff > "$json_tmp/skip-on.txt" 2> "$json_tmp/skip-on.log"
+SWQUE_NO_SKIP=1 ./target/release/skip_diff > "$json_tmp/skip-off.txt" 2> /dev/null
+diff -u "$json_tmp/skip-off.txt" "$json_tmp/skip-on.txt" || {
+    echo "error: quiescence skipping changed simulated results" >&2
+    exit 1
+}
+grep -q "skip_enabled=true skips=[1-9]" "$json_tmp/skip-on.log" || {
+    echo "error: skip-on run took no skips — the equivalence diff is vacuous" >&2
+    cat "$json_tmp/skip-on.log" >&2
+    exit 1
+}
+
 echo "== sweep: kill/resume smoke (SIGKILL mid-campaign, resume, merge, validate)"
 # A small campaign is started in the background on one worker, killed hard
 # as soon as its first shard lands, then resumed. The resumed run must

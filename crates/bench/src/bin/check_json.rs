@@ -265,6 +265,39 @@ fn check_lint_report(doc: &Json, version: u8) -> Result<String, String> {
     ))
 }
 
+/// The roles a requester-tagged result row may claim.
+const REQUESTER_ROLES: [&str; 2] = ["measured", "aggressor"];
+
+/// Validates one requester-tagged result row (multi-core experiments such
+/// as `neighbor` emit one per core per scenario; a row is requester-tagged
+/// iff it carries a `requester` key). The per-requester contention
+/// counters must all be present and integer-typed so interference tooling
+/// can aggregate them unconditionally.
+fn check_requester_row(row: &Json, path: &str) -> Result<(), String> {
+    for key in [
+        "requester",
+        "cycles",
+        "retired",
+        "llc_demand_misses",
+        "dram_transfers",
+        "arb_wait_cycles",
+        "quota_stall_cycles",
+    ] {
+        row.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{path}.{key}: not an integer"))?;
+    }
+    row.get("kernel")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{path}.kernel: not a string"))?;
+    row.get("ipc").and_then(Json::as_f64).ok_or_else(|| format!("{path}.ipc: not a number"))?;
+    let role = row.get("role").and_then(Json::as_str).unwrap_or("");
+    if !REQUESTER_ROLES.contains(&role) {
+        return Err(format!("{path}.role: {role:?}, expected one of {REQUESTER_ROLES:?}"));
+    }
+    Ok(())
+}
+
 /// Validates one `swque-bench-v1` experiment report. `Err` carries a
 /// diagnostic of the form `<json path>: <what is wrong>`.
 fn check_bench_report(doc: &Json) -> Result<String, String> {
@@ -310,7 +343,12 @@ fn check_bench_report(doc: &Json) -> Result<String, String> {
             }
         }
     }
-    doc.get("rows").and_then(Json::as_arr).ok_or("rows: not an array")?;
+    let rows = doc.get("rows").and_then(Json::as_arr).ok_or("rows: not an array")?;
+    for (ri, row) in rows.iter().enumerate() {
+        if row.get("requester").is_some() {
+            check_requester_row(row, &format!("rows[{ri}]"))?;
+        }
+    }
     let traces = doc.get("traces").and_then(Json::as_arr).ok_or("traces: not an array")?;
     for (ei, entry) in traces.iter().enumerate() {
         entry
@@ -476,6 +514,52 @@ mod tests {
         let err =
             check_report(&with(&doc, "traces", Json::Arr(vec![trace]))).unwrap_err();
         assert!(err.starts_with("traces[0].trace.events:"), "path not named: {err}");
+    }
+
+    /// A requester-tagged row shaped like the `neighbor` binary's output.
+    fn requester_row() -> Json {
+        Json::obj([
+            ("aggressors", Json::from(1u64)),
+            ("requester", Json::from(0u64)),
+            ("role", Json::from("measured")),
+            ("kernel", Json::from("omnetpp_like")),
+            ("cycles", Json::from(100u64)),
+            ("retired", Json::from(200u64)),
+            ("ipc", Json::from(2.0)),
+            ("llc_demand_misses", Json::from(5u64)),
+            ("dram_transfers", Json::from(6u64)),
+            ("arb_wait_cycles", Json::from(7u64)),
+            ("quota_stall_cycles", Json::from(8u64)),
+        ])
+    }
+
+    #[test]
+    fn accepts_requester_tagged_rows() {
+        let doc = with(&valid_doc(), "rows", Json::Arr(vec![requester_row()]));
+        check_report(&doc).expect("requester-tagged row validates");
+    }
+
+    #[test]
+    fn names_the_offending_requester_field() {
+        // A missing contention counter is named precisely.
+        let Json::Obj(pairs) = requester_row() else { panic!("row is an object") };
+        let stripped: Vec<_> =
+            pairs.iter().filter(|(k, _)| k != "arb_wait_cycles").cloned().collect();
+        let doc = with(&valid_doc(), "rows", Json::Arr(vec![Json::Obj(stripped)]));
+        let err = check_report(&doc).unwrap_err();
+        assert!(err.starts_with("rows[0].arb_wait_cycles:"), "{err}");
+        // A bogus role is rejected.
+        let bad_role = with(&requester_row(), "role", Json::from("bystander"));
+        let doc = with(&valid_doc(), "rows", Json::Arr(vec![bad_role]));
+        let err = check_report(&doc).unwrap_err();
+        assert!(err.starts_with("rows[0].role:"), "{err}");
+        // Untagged rows (no `requester` key) stay schema-free.
+        let doc = with(
+            &valid_doc(),
+            "rows",
+            Json::Arr(vec![Json::obj([("x", Json::from(1u64))])]),
+        );
+        check_report(&doc).expect("untagged rows are unconstrained");
     }
 
     #[test]

@@ -49,7 +49,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use swque_branch::{BranchKind, BranchOutcome, BranchPredictor};
 use swque_core::{min_horizon, DispatchReq, IqKind, IqMode, IssueBudget, IssueQueue, WakeHorizon};
 use swque_isa::{Emulator, Opcode, Program, Retired, ShadowEmulator};
-use swque_mem::{AccessKind, MemoryHierarchy};
+use swque_mem::{AccessKind, MemStats, MemoryHierarchy};
 use swque_trace::{TraceEvent, TraceHandle};
 
 use crate::config::CoreConfig;
@@ -129,7 +129,13 @@ pub struct Core {
     config: CoreConfig,
     iq: Box<dyn IssueQueue>,
     emu: Emulator,
-    mem: MemoryHierarchy,
+    /// Owned hierarchy of a standalone core. `None` for a core driven over
+    /// a shared hierarchy (see [`crate::MultiCoreSim`]), whose accesses go
+    /// through the `_on` method variants instead.
+    mem: Option<MemoryHierarchy>,
+    /// This core's requester id on the memory hierarchy it is driven over
+    /// (0 for a standalone core).
+    requester: usize,
     bp: BranchPredictor,
     rename: RenameState,
     rob: Rob,
@@ -183,15 +189,38 @@ pub struct Core {
 }
 
 impl Core {
-    /// Creates a core running `program` with the issue queue `kind`.
+    /// Creates a core running `program` with the issue queue `kind`,
+    /// owning a private single-requester memory hierarchy.
     pub fn new(config: CoreConfig, kind: IqKind, program: &Program) -> Core {
+        let mem = MemoryHierarchy::new(config.mem);
+        Core::build(config, kind, program, Some(mem), 0)
+    }
+
+    /// Creates a core *without* an owned memory hierarchy, to be driven
+    /// over a shared one as requester `requester` via the `_on` method
+    /// variants ([`run_on`](Self::run_on), [`step_cycle_on`](Self::step_cycle_on));
+    /// [`crate::MultiCoreSim`] is the intended driver. The owned-API entry
+    /// points ([`run`](Self::run), [`step_cycle`](Self::step_cycle)) report
+    /// an invariant violation instead of simulating.
+    pub fn detached(config: CoreConfig, kind: IqKind, program: &Program, requester: usize) -> Core {
+        Core::build(config, kind, program, None, requester)
+    }
+
+    fn build(
+        config: CoreConfig,
+        kind: IqKind,
+        program: &Program,
+        mem: Option<MemoryHierarchy>,
+        requester: usize,
+    ) -> Core {
         let iq = kind.build(&config.iq);
         let interval = config.iq.swque.interval_insts.max(1);
         // swque-lint: allow(env-read) — SWQUE_NO_SKIP is the documented skip-equivalence escape hatch (verify.sh diffs a run with and without it); tests use set_skip instead of mutating the environment
         let skip_enabled = config.skip && std::env::var_os("SWQUE_NO_SKIP").is_none();
         Core {
             emu: Emulator::new(program),
-            mem: MemoryHierarchy::new(config.mem),
+            mem,
+            requester,
             bp: BranchPredictor::new(config.predictor),
             rename: RenameState::new(config.phys_int, config.phys_fp),
             rob: Rob::new(config.rob_entries),
@@ -233,7 +262,14 @@ impl Core {
     pub fn attach_trace(&mut self, trace: &TraceHandle) {
         self.trace = trace.clone();
         self.iq.attach_trace(trace);
-        self.mem.set_trace(trace);
+        if let Some(mem) = &mut self.mem {
+            mem.set_trace(trace);
+        }
+    }
+
+    /// This core's requester id on the memory hierarchy it is driven over.
+    pub fn requester(&self) -> usize {
+        self.requester
     }
 
     /// Current cycle.
@@ -282,21 +318,44 @@ impl Core {
     /// a pipeline invariant is violated (see [`SimResult::invariant`]).
     /// Returns the accumulated results (callable again to continue).
     pub fn run(&mut self, max_insts: u64) -> SimResult {
-        while self.retired < max_insts && !self.finished() && self.violation.is_none() {
-            self.step_cycle();
+        let Some(mut mem) = self.mem.take() else {
+            self.invariant(
+                "run",
+                "detached core has no owned hierarchy; drive it via run_on".to_string(),
+            );
+            return self.result();
+        };
+        let r = self.run_on(&mut mem, max_insts);
+        self.mem = Some(mem);
+        r
+    }
+
+    /// [`run`](Self::run) over an external (shared) memory hierarchy. The
+    /// owned-hierarchy path delegates here, so a detached core driven over
+    /// an equivalently-configured hierarchy behaves bit-identically.
+    pub fn run_on(&mut self, mem: &mut MemoryHierarchy, max_insts: u64) -> SimResult {
+        while self.active(max_insts) {
+            self.step_cycle_on(mem);
             self.check_progress();
             if self.skip_enabled && self.violation.is_none() {
-                self.skip_quiescent(max_insts);
+                self.skip_quiescent_on(mem, max_insts);
                 self.check_progress();
             }
         }
-        self.result()
+        self.result_on(mem)
+    }
+
+    /// True while [`run`](Self::run) with this bound would keep stepping:
+    /// the retirement target is unmet, the program has not finished, and no
+    /// invariant violation has frozen the pipeline.
+    pub fn active(&self, max_insts: u64) -> bool {
+        self.retired < max_insts && !self.finished() && self.violation.is_none()
     }
 
     /// The deadlock invariant: fires (with the same cycle stamp whether the
     /// clock ticked or jumped there) when nothing has retired for
     /// [`DEADLOCK_LIMIT`] cycles.
-    fn check_progress(&mut self) {
+    pub(crate) fn check_progress(&mut self) {
         if self.cycle.saturating_sub(self.last_retire_cycle) >= DEADLOCK_LIMIT {
             self.invariant(
                 "progress",
@@ -328,14 +387,29 @@ impl Core {
         (self.skips_taken, self.cycles_skipped)
     }
 
-    /// Snapshot of the statistics so far.
+    /// Snapshot of the statistics so far. On a detached core (no owned
+    /// hierarchy) the memory counters are zero — use
+    /// [`result_on`](Self::result_on) with the shared hierarchy instead.
     pub fn result(&self) -> SimResult {
+        self.result_with(match &self.mem {
+            Some(mem) => mem.stats_of(self.requester),
+            None => MemStats::default(),
+        })
+    }
+
+    /// Snapshot of the statistics so far, reading memory counters
+    /// attributed to this core's requester id from `mem`.
+    pub fn result_on(&self, mem: &MemoryHierarchy) -> SimResult {
+        self.result_with(mem.stats_of(self.requester))
+    }
+
+    fn result_with(&self, mem: MemStats) -> SimResult {
         SimResult {
             cycles: self.cycle,
             retired: self.retired,
             iq: self.iq.stats(),
             swque: self.iq.swque_stats(),
-            mem: self.mem.stats(),
+            mem,
             branch: self.bp.stats(),
             core: self.stats,
             invariant: self.violation.clone(),
@@ -367,19 +441,34 @@ impl Core {
     /// violated (the frozen state is exactly what the violation report
     /// describes).
     pub fn step_cycle(&mut self) {
+        let Some(mut mem) = self.mem.take() else {
+            self.invariant(
+                "step",
+                "detached core has no owned hierarchy; drive it via step_cycle_on".to_string(),
+            );
+            return;
+        };
+        self.step_cycle_on(&mut mem);
+        self.mem = Some(mem);
+    }
+
+    /// [`step_cycle`](Self::step_cycle) over an external (shared) memory
+    /// hierarchy; all memory accesses are tagged with this core's
+    /// requester id.
+    pub fn step_cycle_on(&mut self, mem: &mut MemoryHierarchy) {
         if self.violation.is_some() {
             return;
         }
-        self.commit();
+        self.commit(mem);
         if self.trace.enabled() {
             self.trace_interval_ipc();
         }
         self.writeback();
-        self.execute();
+        self.execute(mem);
         self.issue();
         self.dispatch();
-        self.fetch();
-        self.poll_mode_switch();
+        self.fetch(mem);
+        self.poll_mode_switch(mem);
         self.cycle += 1;
     }
 
@@ -399,8 +488,19 @@ impl Core {
     /// fires — with the identical cycle stamp the per-cycle path produces.
     ///
     /// Pure: a query over `&self`, usable by tests to cross-check any
-    /// claimed horizon against a per-cycle reference run.
+    /// claimed horizon against a per-cycle reference run. On a detached
+    /// core this returns `None` ("must tick") — use
+    /// [`quiescent_horizon_on`](Self::quiescent_horizon_on).
     pub fn quiescent_horizon(&self) -> Option<u64> {
+        self.mem.as_ref().and_then(|mem| self.quiescent_horizon_on(mem))
+    }
+
+    /// [`quiescent_horizon`](Self::quiescent_horizon) over an external
+    /// (shared) memory hierarchy: the hierarchy's wake horizon covers every
+    /// requester's in-flight traffic, so on a shared hierarchy a core is
+    /// only quiescent when no *neighbor* fill could change shared state it
+    /// might observe either.
+    pub fn quiescent_horizon_on(&self, mem: &MemoryHierarchy) -> Option<u64> {
         if self.finished() {
             return None; // run loop exits; jumping would inflate `cycles`
         }
@@ -473,7 +573,7 @@ impl Core {
         }
         // Subsystem wake horizons (the WakeHorizon contract).
         horizon = min_horizon(horizon, self.fus.wake_horizon(self.cycle));
-        horizon = min_horizon(horizon, self.mem.wake_horizon(self.cycle));
+        horizon = min_horizon(horizon, mem.wake_horizon(self.cycle));
         horizon = min_horizon(horizon, self.iq.wake_horizon(self.cycle));
 
         // Nothing will ever wake a fully quiet pipeline: jump to the cycle
@@ -503,15 +603,22 @@ impl Core {
     /// The `retired`/`finished` guards keep the jump from covering cycles
     /// the per-cycle loop would never have simulated (it exits as soon as
     /// its bounds are met).
-    fn skip_quiescent(&mut self, max_insts: u64) {
+    fn skip_quiescent_on(&mut self, mem: &MemoryHierarchy, max_insts: u64) {
         if self.retired >= max_insts || self.finished() {
             return;
         }
-        let Some(h) = self.quiescent_horizon() else { return };
+        let Some(h) = self.quiescent_horizon_on(mem) else { return };
         let n = h.saturating_sub(self.cycle);
         if n == 0 {
             return;
         }
+        self.apply_skip(n);
+    }
+
+    /// Takes a clock jump of `n` cycles whose quiescence the caller has
+    /// already established (its own horizon query, or — in a lockstep
+    /// multi-core drive — the minimum across all cores' horizons).
+    pub(crate) fn apply_skip(&mut self, n: u64) {
         self.advance_quiescent(n);
         self.skips_taken += 1;
         self.cycles_skipped += n;
@@ -551,7 +658,7 @@ impl Core {
 
     // ---- commit ----
 
-    fn commit(&mut self) {
+    fn commit(&mut self, mem: &mut MemoryHierarchy) {
         for _ in 0..self.config.width {
             match self.rob.head() {
                 Some(h) if h.state == RobState::Done => {}
@@ -562,12 +669,12 @@ impl Core {
             if let Some((reg, new, old)) = e.dst {
                 self.rename.commit_dst(reg, new, old);
             }
-            if let Some(mem) = e.oracle.mem {
-                if mem.is_store {
+            if let Some(m) = e.oracle.mem {
+                if m.is_store {
                     // Stores drain from the store buffer at commit; the
                     // access warms the cache and consumes bandwidth but
                     // never blocks retirement.
-                    let _ = self.mem.access(mem.addr, AccessKind::Store, self.cycle);
+                    let _ = mem.access_from(self.requester, m.addr, AccessKind::Store, self.cycle);
                 }
                 self.lsq.remove(e.uid);
             }
@@ -632,7 +739,7 @@ impl Core {
 
     // ---- execute (memory scheduling) ----
 
-    fn execute(&mut self) {
+    fn execute(&mut self, mem: &mut MemoryHierarchy) {
         let mut still = Vec::new();
         let pending = std::mem::take(&mut self.pending_loads);
         for (ready, uid) in pending {
@@ -651,14 +758,14 @@ impl Core {
                 LoadAction::Access => {
                     self.lsq.mark_load_started(uid);
                     self.stats.loads_accessed += 1;
-                    let Some(mem) = self.rob.get(uid).and_then(|e| e.oracle.mem) else {
+                    let Some(m) = self.rob.get(uid).and_then(|e| e.oracle.mem) else {
                         self.invariant(
                             "execute",
                             format!("pending load uid {uid} has no live ROB memory record"),
                         );
                         return;
                     };
-                    let r = self.mem.access(mem.addr, AccessKind::Load, self.cycle);
+                    let r = mem.access_from(self.requester, m.addr, AccessKind::Load, self.cycle);
                     self.schedule(uid, r.done_at.max(self.cycle + 1));
                 }
             }
@@ -804,7 +911,7 @@ impl Core {
         self.config.width * self.config.frontend_depth as usize
     }
 
-    fn fetch(&mut self) {
+    fn fetch(&mut self, mem: &mut MemoryHierarchy) {
         if self.cycle < self.fetch_stalled_until {
             return;
         }
@@ -838,7 +945,7 @@ impl Core {
             let byte_addr = Program::byte_addr(pc);
             let line = byte_addr / self.config.mem.l1i.line_bytes as u64;
             if Some(line) != self.last_fetch_line {
-                let r = self.mem.access(byte_addr, AccessKind::IFetch, self.cycle);
+                let r = mem.access_from(self.requester, byte_addr, AccessKind::IFetch, self.cycle);
                 self.last_fetch_line = Some(line);
                 if !r.l1_hit {
                     self.fetch_stalled_until = r.done_at;
@@ -988,9 +1095,10 @@ impl Core {
 
     // ---- SWQUE mode switching ----
 
-    fn poll_mode_switch(&mut self) {
+    fn poll_mode_switch(&mut self, mem: &MemoryHierarchy) {
         let before = self.iq.mode();
-        if self.iq.poll_mode_switch(self.cycle, self.retired, self.mem.llc_demand_misses()) {
+        let misses = mem.llc_demand_misses_of(self.requester);
+        if self.iq.poll_mode_switch(self.cycle, self.retired, misses) {
             self.full_flush();
             self.fetch_stalled_until = self.cycle + self.config.iq.swque.switch_penalty;
             self.stats.mode_switch_flushes += 1;

@@ -37,11 +37,13 @@ mod config;
 mod core;
 mod fu;
 mod lsq;
+mod multi;
 mod rename;
 mod result;
 mod rob;
 
 pub use crate::core::{Core, PipelineSnapshot};
+pub use crate::multi::MultiCoreSim;
 pub use config::CoreConfig;
 pub use fu::FuPool;
 pub use lsq::{LoadAction, Lsq};

@@ -10,6 +10,9 @@ struct Line {
     valid: bool,
     /// Set when the line was filled by the prefetcher and not yet demanded.
     prefetched: bool,
+    /// Requester that last touched (filled or demanded) the line. Only
+    /// meaningful for shared caches; private caches leave it at 0.
+    owner: usize,
 }
 
 /// A cache tag array (timing model only — data lives in the functional
@@ -34,7 +37,10 @@ impl Cache {
         Cache {
             config,
             sets: vec![
-                vec![Line { tag: 0, lru: 0, valid: false, prefetched: false }; config.ways];
+                vec![
+                    Line { tag: 0, lru: 0, valid: false, prefetched: false, owner: 0 };
+                    config.ways
+                ];
                 sets
             ],
             set_mask: sets as u64 - 1,
@@ -65,6 +71,13 @@ impl Cache {
     /// Demand access: returns `true` on hit. Updates LRU and statistics; a
     /// hit to a prefetched line is counted as a useful prefetch.
     pub fn access(&mut self, addr: u64) -> bool {
+        self.access_by(addr, 0)
+    }
+
+    /// [`access`](Cache::access) on behalf of requester `owner` (shared
+    /// caches track the last toucher per line so evictions can be
+    /// attributed to neighbors).
+    pub fn access_by(&mut self, addr: u64, owner: usize) -> bool {
         let line = self.line_addr(addr);
         let (set, tag) = (self.set_of(line), self.tag_of(line));
         self.clock += 1;
@@ -73,6 +86,7 @@ impl Cache {
         for way in &mut self.sets[set] {
             if way.valid && way.tag == tag {
                 way.lru = clock;
+                way.owner = owner;
                 if way.prefetched {
                     way.prefetched = false;
                     self.stats.useful_prefetches += 1;
@@ -94,6 +108,14 @@ impl Cache {
     /// Fills the line containing `addr`, evicting LRU if the set is full.
     /// `prefetch` marks the fill as prefetcher-initiated.
     pub fn fill(&mut self, addr: u64, prefetch: bool) {
+        let _ = self.fill_by(addr, prefetch, 0);
+    }
+
+    /// [`fill`](Cache::fill) on behalf of requester `owner`. Returns the
+    /// last toucher of the line this fill evicted, or `None` when no valid
+    /// line was displaced (invalid way available, or the line was already
+    /// present).
+    pub fn fill_by(&mut self, addr: u64, prefetch: bool, owner: usize) -> Option<usize> {
         let line = self.line_addr(addr);
         let (set, tag) = (self.set_of(line), self.tag_of(line));
         self.clock += 1;
@@ -102,16 +124,17 @@ impl Cache {
         if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
             // Already present (e.g. prefetch raced a demand fill).
             way.lru = clock;
-            return;
+            way.owner = owner;
+            return None;
         }
         if prefetch {
             self.stats.prefetch_fills += 1;
         }
         // Fill an invalid way, else evict LRU (invalid sorts first).
-        let Some(victim) = set.iter_mut().min_by_key(|w| (w.valid, w.lru)) else {
-            return; // zero ways: nowhere to put the line
-        };
-        *victim = Line { tag, lru: clock, valid: true, prefetched: prefetch };
+        let victim = set.iter_mut().min_by_key(|w| (w.valid, w.lru))?;
+        let evicted = victim.valid.then_some(victim.owner);
+        *victim = Line { tag, lru: clock, valid: true, prefetched: prefetch, owner };
+        evicted
     }
 
     /// Access statistics.
@@ -174,6 +197,28 @@ mod tests {
         // them and this would miss:
         assert!(c.contains(0));
         assert!(c.contains(128));
+    }
+
+    #[test]
+    fn fill_by_reports_evicted_owner() {
+        let mut c = tiny();
+        assert_eq!(c.fill_by(0, false, 0), None, "invalid way, nothing displaced");
+        assert_eq!(c.fill_by(128, false, 1), None);
+        // Set 0 is now full (lines 0 and 128); owner of line 0 is 0.
+        assert_eq!(c.fill_by(256, false, 1), Some(0), "evicted LRU line's last toucher");
+        // Re-filling a present line reports no eviction but retags owner.
+        assert_eq!(c.fill_by(256, false, 0), None);
+        c.fill_by(128, false, 1); // LRU-refresh 128 so 256 is the victim
+        assert_eq!(c.fill_by(0, false, 1), Some(0), "owner updated by the re-fill");
+    }
+
+    #[test]
+    fn access_by_retags_line_owner() {
+        let mut c = tiny();
+        c.fill_by(0, false, 0);
+        assert!(c.access_by(0, 1), "hit retags the toucher");
+        c.fill_by(128, false, 0);
+        assert_eq!(c.fill_by(256, false, 0), Some(1), "eviction sees the demand toucher");
     }
 
     #[test]

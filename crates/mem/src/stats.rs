@@ -55,6 +55,44 @@ pub struct MemStats {
     pub mshr_stall_cycles: u64,
 }
 
+/// Per-requester share of the shared-level counters (one entry per core
+/// in [`SharedMemStats::per_requester`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequesterMemStats {
+    /// Demand LLC misses attributed to this requester.
+    pub llc_demand_misses: u64,
+    /// DRAM line transfers granted to this requester (demand + prefetch
+    /// issued on its streams).
+    pub dram_transfers: u64,
+    /// Cycles this requester's DRAM requests waited on the shared channel
+    /// while another requester was active.
+    pub arb_wait_cycles: u64,
+    /// Cycles this requester's misses stalled on its private MSHR quota.
+    pub quota_stall_cycles: u64,
+}
+
+/// Contention counters for the shared levels of a multi-requester
+/// hierarchy (L2, DRAM channel, MSHR quotas). All-zero contention fields
+/// on a single-requester hierarchy — there is no neighbor to contend with.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SharedMemStats {
+    /// Shared L2 counters (all requesters).
+    pub l2: CacheStats,
+    /// DRAM line transfers (all requesters).
+    pub dram_transfers: u64,
+    /// Total cycles requests waited on the shared DRAM channel while
+    /// another requester was active (arbitration contention).
+    pub arb_wait_cycles: u64,
+    /// Total cycles misses stalled on per-core MSHR quotas.
+    pub quota_stall_cycles: u64,
+    /// L2 evictions where the displaced line was last touched by a
+    /// *different* requester than the one filling — the footprint one core
+    /// steals from its neighbors.
+    pub neighbor_evictions: u64,
+    /// Per-requester breakdown, indexed by requester id.
+    pub per_requester: Vec<RequesterMemStats>,
+}
+
 impl MemStats {
     /// Counter difference `self - earlier` (for measurement windows that
     /// exclude warmup).

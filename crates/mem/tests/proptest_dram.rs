@@ -1,0 +1,95 @@
+//! Property tests of the shared DRAM channel's round-robin arbitration
+//! (DESIGN.md §11) and of per-requester accounting on the shared hierarchy.
+//!
+//! The starvation-freedom property is the one the slot-reservation design
+//! exists for: under the old first-come channel, a requester that issues
+//! faster than the channel drains builds an ever-growing backlog, and any
+//! other requester's wait grows without bound with the flooder's backlog.
+//! With the rate-cap arbiter, a flooder's grants are spaced one round-robin
+//! rotation apart and the slots it declines stay reserved as holes, so a
+//! *paced* requester (at most one outstanding request — the
+//! latency-sensitive demand-miss pattern) claims a hole near `now` and its
+//! wait stays bounded by a small constant regardless of how deep the
+//! flooders' backlog has grown.
+
+use swque_mem::Dram;
+use swque_rng::prop::check;
+
+const LATENCY: u64 = 300;
+const BPC: u64 = 8;
+const LINE: u64 = 64;
+const TRANSFER: u64 = LINE / BPC;
+
+/// Bound on a paced requester's channel wait under contention: one full
+/// activity window (the flooder's yield cadence re-arms within it) plus a
+/// few transfer slots of slack for gap expiry races. Empirically the
+/// observed maximum is far lower (~3 transfer slots); the margin keeps the
+/// property about *boundedness*, not an exact schedule.
+const WAIT_BOUND: u64 = 2 * (LATENCY + TRANSFER) + 4 * TRANSFER;
+
+#[test]
+fn paced_requesters_are_never_starved_by_flooders() {
+    check(48, |g| {
+        let requesters = g.gen_range(2usize..5);
+        // At least one flooder, at least one paced victim.
+        let floods: Vec<bool> = (0..requesters)
+            .map(|i| if i == 0 { true } else if i == requesters - 1 { false } else { g.bool() })
+            .collect();
+        let mut dram = Dram::shared(LATENCY, BPC, LINE, requesters);
+
+        // Event-driven drive: each requester has a next-issue time; the
+        // earliest (ties broken by id — deterministic) issues next.
+        let mut next_issue: Vec<u64> = (0..requesters).map(|_| g.gen_range(0u64..16)).collect();
+        let mut max_paced_wait = 0u64;
+        for _ in 0..400 {
+            let (r, &now) = next_issue
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &t)| (t, i))
+                .expect("at least one requester");
+            let done = dram.request_from(r, now);
+            let wait = done - LATENCY - now;
+            if floods[r] {
+                // Flooders fire regardless of completions: the backlog they
+                // queue behind is mostly their own, so no bound is claimed.
+                next_issue[r] = now + g.gen_range(1u64..4);
+            } else {
+                max_paced_wait = max_paced_wait.max(wait);
+                assert!(
+                    wait <= WAIT_BOUND,
+                    "paced requester {r} waited {wait} cycles (> {WAIT_BOUND}) at t={now}"
+                );
+                // Paced: next request only after this one completes.
+                next_issue[r] = done + g.gen_range(0u64..48);
+            }
+        }
+        // Non-vacuity: contention must actually have happened.
+        assert!(dram.arb_wait_cycles() > 0, "drive never contended; property is vacuous");
+        assert!(max_paced_wait > 0, "paced requesters never waited; property is vacuous");
+    });
+}
+
+#[test]
+fn per_requester_transfer_and_wait_accounting_sums_to_totals() {
+    check(48, |g| {
+        let requesters = g.gen_range(1usize..6);
+        let mut dram = Dram::shared(LATENCY, BPC, LINE, requesters);
+        let mut now = 0u64;
+        for _ in 0..200 {
+            let r = g.gen_range(0usize..requesters);
+            now += g.gen_range(0u64..20);
+            let done = dram.request_from(r, now);
+            assert!(done >= now + LATENCY, "service can never beat the floor latency");
+        }
+        let per = dram.requester_stats();
+        assert_eq!(per.len(), requesters);
+        assert_eq!(per.iter().map(|p| p.transfers).sum::<u64>(), dram.transfers());
+        assert_eq!(
+            per.iter().map(|p| p.arb_wait_cycles).sum::<u64>(),
+            dram.arb_wait_cycles(),
+        );
+        if requesters == 1 {
+            assert_eq!(dram.arb_wait_cycles(), 0, "no neighbor, no arbitration wait");
+        }
+    });
+}

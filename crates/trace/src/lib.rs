@@ -157,6 +157,10 @@ pub enum TraceEvent {
     MemEpoch {
         /// First cycle of the epoch.
         cycle: u64,
+        /// Requester (core id) whose demand miss crossed the epoch
+        /// boundary and triggered the sample. Always 0 on a single-core
+        /// hierarchy; the *counters* below still aggregate all requesters.
+        requester: u32,
         /// LLC demand misses observed during the epoch.
         llc_misses: u64,
         /// DRAM line transfers (demand + prefetch) during the epoch.

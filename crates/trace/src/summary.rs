@@ -223,7 +223,7 @@ mod tests {
             TraceEvent::IntervalIpc { cycle: 5_000, retired: 10_000, ipc: 2.0 },
             TraceEvent::DispatchStall { cycle: 400, cycles: 12 },
             TraceEvent::DispatchStall { cycle: 900, cycles: 8 },
-            TraceEvent::MemEpoch { cycle: 0, llc_misses: 17, dram_transfers: 20 },
+            TraceEvent::MemEpoch { cycle: 0, requester: 0, llc_misses: 17, dram_transfers: 20 },
         ];
         let s = TraceSummary::from_events(&events, 3);
         assert_eq!(s.events, 8);

@@ -94,6 +94,30 @@ grep -q "skip_enabled=true skips=[1-9]" "$json_tmp/skip-on.log" || {
     exit 1
 }
 
+echo "== multi-core: neighbor determinism smoke (2-core, thread-count and skip invariance)"
+# The 2-core neighbor co-run (DESIGN.md §11) must be byte-identical however
+# the host is configured: worker-thread count and quiescence skipping are
+# throughput knobs, not model inputs. The contention echo on stderr feeds
+# the non-vacuity greps — an interference experiment that observes no
+# arbitration waits and no quota stalls is measuring nothing.
+SWQUE_WARMUP=2000 SWQUE_INSTS=10000 SWQUE_NEIGHBOR_MAX=1 \
+    SWQUE_JSON="$json_tmp/neighbor.json" SWQUE_THREADS=4 \
+    ./target/release/neighbor > "$json_tmp/neighbor-a.txt" 2> "$json_tmp/neighbor-a.log"
+SWQUE_WARMUP=2000 SWQUE_INSTS=10000 SWQUE_NEIGHBOR_MAX=1 \
+    SWQUE_THREADS=1 SWQUE_NO_SKIP=1 \
+    ./target/release/neighbor > "$json_tmp/neighbor-b.txt" 2> /dev/null
+diff -u "$json_tmp/neighbor-a.txt" "$json_tmp/neighbor-b.txt" || {
+    echo "error: multi-core results depend on thread count or quiescence skipping" >&2
+    exit 1
+}
+./target/release/check_json "$json_tmp/neighbor.json"
+grep -Eq "aggressors=1 arb_wait_cycles=[1-9][0-9]* quota_stall_cycles=[1-9]" \
+    "$json_tmp/neighbor-a.log" || {
+    echo "error: 2-core neighbor run saw no arbitration waits or no quota stalls" >&2
+    cat "$json_tmp/neighbor-a.log" >&2
+    exit 1
+}
+
 echo "== sweep: kill/resume smoke (SIGKILL mid-campaign, resume, merge, validate)"
 # A small campaign is started in the background on one worker, killed hard
 # as soon as its first shard lands, then resumed. The resumed run must

@@ -2,8 +2,10 @@
 //! the command line with the in-tree JSON parser and checks its declared
 //! schema — `swque-bench-v1` experiment reports (including the nested
 //! `swque-trace-v1` shape of any embedded trace digests),
-//! `swque-lint-v2` analyzer reports (the legacy `swque-lint-v1` shape,
-//! whose findings lack `rule_class`, is still accepted), and the sweep
+//! `swque-lint-v3` analyzer reports (the legacy `swque-lint-v2` shape,
+//! whose findings lack the `domain_from`/`domain_to`/`chain` trio, and
+//! the `swque-lint-v1` shape, which also lacks `rule_class`, are still
+//! accepted), and the sweep
 //! orchestrator's three shapes: `swque-sweep-manifest-v1` campaign
 //! manifests, `swque-sweep-shard-v1` per-unit shards, and
 //! `swque-sweep-campaign-v1` merged reports (shard and campaign-row
@@ -25,27 +27,33 @@ use swque_trace::Json;
 /// Schema string of current `swque-lint` analyzer reports. Kept as a
 /// literal here because the lint crate is a dev-dependency only; the unit
 /// tests assert it matches `swque_lint::report::LINT_SCHEMA`.
-const LINT_SCHEMA: &str = "swque-lint-v2";
+const LINT_SCHEMA: &str = "swque-lint-v3";
 
-/// The legacy analyzer report schema (findings without `rule_class`),
-/// still accepted so archived reports keep validating.
+/// The previous analyzer report schema (findings without the
+/// `domain_from`/`domain_to`/`chain` trio), still accepted so archived
+/// reports keep validating.
+const LINT_SCHEMA_V2: &str = "swque-lint-v2";
+
+/// The original analyzer report schema (findings additionally without
+/// `rule_class`), likewise accepted.
 const LINT_SCHEMA_V1: &str = "swque-lint-v1";
 
-/// The analysis layers a v2 finding may name.
-const RULE_CLASSES: [&str; 3] = ["token", "ast", "reachability"];
+/// The analysis layers a v2+ finding may name.
+const RULE_CLASSES: [&str; 4] = ["token", "ast", "reachability", "dataflow"];
 
 /// Dispatches on the document's declared `schema` field.
 fn check_report(doc: &Json) -> Result<String, String> {
     match doc.get("schema").and_then(Json::as_str).unwrap_or("") {
         BENCH_SCHEMA => check_bench_report(doc),
-        LINT_SCHEMA => check_lint_report(doc, 2),
+        LINT_SCHEMA => check_lint_report(doc, 3),
+        LINT_SCHEMA_V2 => check_lint_report(doc, 2),
         LINT_SCHEMA_V1 => check_lint_report(doc, 1),
         MANIFEST_SCHEMA => check_sweep_manifest(doc),
         SHARD_SCHEMA => check_sweep_shard(doc),
         CAMPAIGN_SCHEMA => check_sweep_campaign(doc),
         other => Err(format!(
-            "schema: {other:?}, expected {BENCH_SCHEMA:?}, {LINT_SCHEMA:?}, {LINT_SCHEMA_V1:?}, \
-             {MANIFEST_SCHEMA:?}, {SHARD_SCHEMA:?}, or {CAMPAIGN_SCHEMA:?}"
+            "schema: {other:?}, expected {BENCH_SCHEMA:?}, {LINT_SCHEMA:?}, {LINT_SCHEMA_V2:?}, \
+             {LINT_SCHEMA_V1:?}, {MANIFEST_SCHEMA:?}, {SHARD_SCHEMA:?}, or {CAMPAIGN_SCHEMA:?}"
         )),
     }
 }
@@ -197,9 +205,10 @@ fn check_sweep_campaign(doc: &Json) -> Result<String, String> {
     Ok(format!("sweep campaign {name:?}: {units} unit(s), {} marginal(s)", marginals.len()))
 }
 
-/// Validates one `swque-lint` analyzer report (`version` 1 or 2; v2
-/// findings must carry a valid `rule_class`). `Err` carries a diagnostic
-/// of the form `<json path>: <what is wrong>`.
+/// Validates one `swque-lint` analyzer report (`version` 1, 2, or 3; v2+
+/// findings must carry a valid `rule_class`, v3 findings additionally the
+/// `domain_from`/`domain_to`/`chain` string trio). `Err` carries a
+/// diagnostic of the form `<json path>: <what is wrong>`.
 fn check_lint_report(doc: &Json, version: u8) -> Result<String, String> {
     let keys = doc.keys();
     let expect = ["schema", "files_scanned", "suppressed", "status", "rules", "findings"];
@@ -231,10 +240,13 @@ fn check_lint_report(doc: &Json, version: u8) -> Result<String, String> {
     }
     let findings = doc.get("findings").and_then(Json::as_arr).ok_or("findings: not an array")?;
     for (fi, f) in findings.iter().enumerate() {
-        let want: &[&str] = if version >= 2 {
-            &["rule", "rule_class", "file", "line", "col", "message"]
-        } else {
-            &["rule", "file", "line", "col", "message"]
+        let want: &[&str] = match version {
+            3.. => {
+                &["rule", "rule_class", "file", "line", "col", "message", "domain_from",
+                  "domain_to", "chain"]
+            }
+            2 => &["rule", "rule_class", "file", "line", "col", "message"],
+            _ => &["rule", "file", "line", "col", "message"],
         };
         if f.keys() != want {
             return Err(format!("findings[{fi}]: keys {:?}, expected {want:?}", f.keys()));
@@ -243,6 +255,13 @@ fn check_lint_report(doc: &Json, version: u8) -> Result<String, String> {
             f.get(key)
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("findings[{fi}].{key}: not a string"))?;
+        }
+        if version >= 3 {
+            for key in ["domain_from", "domain_to", "chain"] {
+                f.get(key)
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("findings[{fi}].{key}: not a string"))?;
+            }
         }
         if version >= 2 {
             let class = f.get("rule_class").and_then(Json::as_str).unwrap_or("");
@@ -597,9 +616,24 @@ mod tests {
         .expect("literal parses")
     }
 
+    /// A minimal hand-written legacy v2 report (findings lack the
+    /// domain_from/domain_to/chain trio).
+    fn v2_lint_doc() -> Json {
+        Json::parse(
+            r#"{"schema":"swque-lint-v2","files_scanned":1,"suppressed":0,
+                "status":"baseline-exceeded",
+                "rules":[{"rule":"wall-clock","count":1,"baseline":0}],
+                "findings":[{"rule":"wall-clock","rule_class":"token",
+                             "file":"crates/core/src/x.rs",
+                             "line":1,"col":18,"message":"m"}]}"#,
+        )
+        .expect("literal parses")
+    }
+
     #[test]
     fn schema_literal_matches_the_lint_crate() {
         assert_eq!(LINT_SCHEMA, swque_lint::report::LINT_SCHEMA);
+        assert_eq!(LINT_SCHEMA_V2, swque_lint::report::LINT_SCHEMA_V2);
         assert_eq!(LINT_SCHEMA_V1, swque_lint::report::LINT_SCHEMA_V1);
     }
 
@@ -608,32 +642,39 @@ mod tests {
         let desc = check_report(&valid_lint_doc()).expect("valid lint report");
         assert!(desc.contains("baseline-exceeded"), "unbaselined finding shows: {desc}");
         assert!(desc.contains("1 finding(s)"), "{desc}");
-        assert!(desc.contains("lint v2"), "writer output is v2: {desc}");
+        assert!(desc.contains("lint v3"), "writer output is v3: {desc}");
     }
 
     #[test]
-    fn accepts_legacy_v1_reports() {
-        let desc = check_report(&v1_lint_doc()).expect("valid legacy report");
+    fn accepts_legacy_lint_reports() {
+        let desc = check_report(&v1_lint_doc()).expect("valid legacy v1 report");
         assert!(desc.contains("lint v1"), "{desc}");
-    }
-
-    #[test]
-    fn v1_migration_round_trips_through_the_validator() {
-        let v1 = v1_lint_doc();
-        let v2 = swque_lint::report::migrate_report(&v1).expect("migrates");
-        let desc = check_report(&v2).expect("migrated report validates as v2");
+        let desc = check_report(&v2_lint_doc()).expect("valid legacy v2 report");
         assert!(desc.contains("lint v2"), "{desc}");
-        // Same counts either way; only the schema and rule_class differ.
-        assert_eq!(v2.get("findings").unwrap().as_arr().unwrap().len(), 1);
-        let f = &v2.get("findings").unwrap().as_arr().unwrap()[0];
-        assert_eq!(f.get("rule_class").and_then(Json::as_str), Some("token"));
     }
 
     #[test]
-    fn rejects_v2_finding_without_rule_class() {
+    fn lint_migration_round_trips_through_the_validator() {
+        for old in [v1_lint_doc(), v2_lint_doc()] {
+            let v3 = swque_lint::report::migrate_report(&old).expect("migrates");
+            let desc = check_report(&v3).expect("migrated report validates as v3");
+            assert!(desc.contains("lint v3"), "{desc}");
+            // Same counts either way; only the schema and finding keys grow.
+            assert_eq!(v3.get("findings").unwrap().as_arr().unwrap().len(), 1);
+            let f = &v3.get("findings").unwrap().as_arr().unwrap()[0];
+            assert_eq!(f.get("rule_class").and_then(Json::as_str), Some("token"));
+            assert_eq!(f.get("domain_from").and_then(Json::as_str), Some(""));
+            assert_eq!(f.get("chain").and_then(Json::as_str), Some(""));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lint_findings() {
         let doc = valid_lint_doc();
+        // A v3 finding without the domain trio is a key-set violation.
         let stripped = Json::Arr(vec![Json::obj([
             ("rule", Json::from("wall-clock")),
+            ("rule_class", Json::from("token")),
             ("file", Json::from("x.rs")),
             ("line", Json::from(1u64)),
             ("col", Json::from(1u64)),
@@ -649,9 +690,26 @@ mod tests {
             ("line", Json::from(1u64)),
             ("col", Json::from(1u64)),
             ("message", Json::from("m")),
+            ("domain_from", Json::from("")),
+            ("domain_to", Json::from("")),
+            ("chain", Json::from("")),
         ])]);
         let err = check_report(&with(&doc, "findings", bogus)).unwrap_err();
         assert!(err.starts_with("findings[0].rule_class:"), "{err}");
+        // A non-string domain key is named precisely too.
+        let non_string = Json::Arr(vec![Json::obj([
+            ("rule", Json::from("wall-clock")),
+            ("rule_class", Json::from("token")),
+            ("file", Json::from("x.rs")),
+            ("line", Json::from(1u64)),
+            ("col", Json::from(1u64)),
+            ("message", Json::from("m")),
+            ("domain_from", Json::from(1u64)),
+            ("domain_to", Json::from("")),
+            ("chain", Json::from("")),
+        ])]);
+        let err = check_report(&with(&doc, "findings", non_string)).unwrap_err();
+        assert!(err.starts_with("findings[0].domain_from:"), "{err}");
     }
 
     /// A schema-valid shard document shaped like the real orchestrator's

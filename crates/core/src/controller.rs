@@ -95,7 +95,7 @@ pub struct SwqueController {
     flpi_threshold_age: f64,
     instability: u32,
     /// Retired-instruction count at the last periodic reset.
-    last_reset_at: u64,
+    last_reset_insts: u64,
     threshold_reductions: u64,
 }
 
@@ -107,7 +107,7 @@ impl SwqueController {
             mode: IqMode::CircPc,
             flpi_threshold_age: params.flpi_threshold,
             instability: 0,
-            last_reset_at: 0,
+            last_reset_insts: 0,
             threshold_reductions: 0,
         }
     }
@@ -138,10 +138,10 @@ impl SwqueController {
     /// Applies the periodic reset if `retired_insts` has advanced past the
     /// reset interval (re-starts learning, paper §3.2.3).
     pub fn maybe_periodic_reset(&mut self, retired_insts: u64) {
-        if retired_insts.saturating_sub(self.last_reset_at) >= self.params.reset_interval_insts {
+        if retired_insts.saturating_sub(self.last_reset_insts) >= self.params.reset_interval_insts {
             self.instability = 0;
             self.flpi_threshold_age = self.params.flpi_threshold;
-            self.last_reset_at = retired_insts;
+            self.last_reset_insts = retired_insts;
         }
     }
 

@@ -67,6 +67,7 @@ pub trait WakeHorizon {
     /// Earliest cycle strictly after `now` at which this subsystem would
     /// change observable state without external stimulus, or `None` if it
     /// is purely reactive from `now` on.
+    // swque-domain: now: CycleStamp, return: CycleStamp
     fn wake_horizon(&self, now: u64) -> Option<u64>;
 }
 

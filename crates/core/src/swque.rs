@@ -42,7 +42,7 @@ pub struct Swque {
     /// Mode to adopt at the next flush, when a switch has been requested
     /// but not yet performed.
     pending_mode: Option<IqMode>,
-    next_interval_at: u64,
+    next_interval_retired: u64,
     interval_start: IntervalStart,
     stats: SwqueStats,
     trace: TraceHandle,
@@ -60,7 +60,7 @@ impl Swque {
             controller: SwqueController::new(config.swque),
             params: config.swque,
             pending_mode: None,
-            next_interval_at: config.swque.interval_insts,
+            next_interval_retired: config.swque.interval_insts,
             interval_start: IntervalStart::default(),
             stats: SwqueStats::default(),
             trace: TraceHandle::disabled(),
@@ -212,10 +212,10 @@ impl IssueQueue for Swque {
             // Waiting for the core to perform the flush.
             return true;
         }
-        if retired_insts < self.next_interval_at {
+        if retired_insts < self.next_interval_retired {
             return false;
         }
-        self.next_interval_at = retired_insts + self.params.interval_insts;
+        self.next_interval_retired = retired_insts + self.params.interval_insts;
         self.stats.intervals += 1;
         self.controller.maybe_periodic_reset(retired_insts);
 

@@ -273,6 +273,7 @@ impl Core {
     }
 
     /// Current cycle.
+    // swque-domain: return: CycleStamp
     pub fn cycle(&self) -> u64 {
         self.cycle
     }
@@ -500,6 +501,7 @@ impl Core {
     /// requester's in-flight traffic, so on a shared hierarchy a core is
     /// only quiescent when no *neighbor* fill could change shared state it
     /// might observe either.
+    // swque-domain: return: CycleStamp
     pub fn quiescent_horizon_on(&self, mem: &MemoryHierarchy) -> Option<u64> {
         if self.finished() {
             return None; // run loop exits; jumping would inflate `cycles`

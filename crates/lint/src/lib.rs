@@ -11,14 +11,23 @@
 //! * [`parser`] — a total recursive-descent parser over the token stream
 //!   (items, blocks, expressions, method calls) giving rules structure:
 //!   what is iterated, what is cast, what is reachable from public API.
+//! * [`resolve`] — the workspace-wide program model: every file of every
+//!   crate parsed into one structure with a cross-file, cross-crate call
+//!   graph (crate identity derived from workspace paths, visibility- and
+//!   import-scoped edges).
+//! * [`domains`] — the cycle-domain dataflow pass: integer values
+//!   classified (stamps vs deltas vs instruction counts vs …) from names
+//!   and `// swque-domain:` annotations, propagated through bindings and
+//!   calls, with cross-domain arithmetic/comparison/argument findings.
 //! * [`rules`] — the AST-visitor rule engine with per-crate-class
 //!   policies and reasoned `// swque-lint: allow(rule) — why` pragmas.
 //! * [`baseline`] — the committed per-rule ratchet (`lint-baseline.json`):
 //!   pre-existing debt is held exactly, new debt fails the build, paid-down
 //!   debt nags until the baseline is tightened.
-//! * [`report`] — the versioned `swque-lint-v2` JSON report (findings
-//!   tagged with their `rule_class`) consumed by the `check_json`
-//!   validator, plus the v1→v2 migration shim for archived reports.
+//! * [`report`] — the versioned `swque-lint-v3` JSON report (findings
+//!   tagged with their `rule_class`, domain pair, and reachability chain)
+//!   consumed by the `check_json` validator, plus the v1→v2→v3 migration
+//!   shims for archived reports.
 //!
 //! The `swque-lint` binary (`src/main.rs`) drives a workspace scan;
 //! `scripts/verify.sh` runs it as a hard gate. The rule table, policy
@@ -29,16 +38,18 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod domains;
 pub mod lexer;
 pub mod parser;
 pub mod report;
+pub mod resolve;
 pub mod rules;
 
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use rules::{scan_manifest, scan_rust, Finding, RULES};
+use rules::{scan_manifest, scan_sources, Finding, RULES};
 
 /// Everything one workspace scan produced.
 #[derive(Debug, Clone)]
@@ -103,9 +114,13 @@ fn relative(root: &Path, path: &Path) -> String {
     rel.to_string_lossy().replace('\\', "/")
 }
 
-/// Scans every lintable file under `root`.
+/// Scans every lintable file under `root`. Rust sources are collected
+/// first and analyzed as **one program** (so reachability chains and
+/// domain resolution cross file and crate boundaries); manifests keep
+/// their per-file line rules.
 pub fn scan_workspace(root: &Path) -> io::Result<Scan> {
     let mut scan = Scan { findings: Vec::new(), suppressed: 0, files_scanned: 0 };
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in collect_files(root)? {
         let rel = relative(root, &path);
         let Ok(src) = std::fs::read_to_string(&path) else {
@@ -113,13 +128,19 @@ pub fn scan_workspace(root: &Path) -> io::Result<Scan> {
         };
         scan.files_scanned += 1;
         if rel.ends_with(".rs") {
-            let (findings, suppressed) = scan_rust(&rel, &src);
-            scan.findings.extend(findings);
-            scan.suppressed += suppressed;
+            sources.push((rel, src));
         } else {
             scan.findings.extend(scan_manifest(&rel, &src));
         }
     }
+    let (findings, suppressed) = scan_sources(&sources);
+    scan.findings.extend(findings);
+    scan.suppressed += suppressed;
+    // Manifest findings land before Rust findings above; restore global
+    // path order so reports are stable whatever the mix.
+    scan.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+    });
     Ok(scan)
 }
 

@@ -1,17 +1,18 @@
-//! The versioned `swque-lint-v2` JSON report.
+//! The versioned `swque-lint-v3` JSON report.
 //!
 //! Shape (all keys always present, validated by the `check_json` binary in
 //! `swque-bench` and documented field-by-field in DESIGN.md §8):
 //!
 //! ```json
 //! {
-//!   "schema": "swque-lint-v2",
+//!   "schema": "swque-lint-v3",
 //!   "files_scanned": 123,
 //!   "suppressed": 2,
 //!   "status": "ok",
 //!   "rules": [ {"rule": "no-unsafe", "count": 0, "baseline": 0}, … ],
 //!   "findings": [ {"rule": "…", "rule_class": "token", "file": "…",
-//!                  "line": 1, "col": 5, "message": "…"}, … ]
+//!                  "line": 1, "col": 5, "message": "…",
+//!                  "domain_from": "", "domain_to": "", "chain": ""}, … ]
 //! }
 //! ```
 //!
@@ -19,11 +20,20 @@
 //! `"baseline-exceeded"` otherwise; `rules` lists every known rule in
 //! stable order with its current count and its baseline allowance.
 //!
-//! v2 differs from v1 in exactly one way: every finding carries a
-//! `rule_class` (`token`, `ast`, or `reachability` — see
-//! [`crate::rules::rule_class`]) naming the analysis layer that produced
-//! it. [`migrate_report`] lifts an archived v1 document to v2 by deriving
-//! the class from the rule name, so old reports stay consumable.
+//! The version history, one key-set change per version:
+//!
+//! * **v1 → v2**: every finding gains a `rule_class` (`token`, `ast`,
+//!   `reachability`, or — since v3 — `dataflow`; see
+//!   [`crate::rules::rule_class`]) naming the analysis layer.
+//! * **v2 → v3**: every finding gains `domain_from`/`domain_to` (the
+//!   rendered cycle domains of a dataflow finding, empty for other
+//!   rules) and `chain` (the pub-to-site reachability hop chain of a
+//!   `panic-in-lib` finding, empty when there is none).
+//!
+//! [`migrate_report`] lifts an archived v1 or v2 document to v3 —
+//! deriving `rule_class` from the rule name and filling the v3 keys with
+//! their empty defaults — so old reports stay consumable; v3 documents
+//! pass through unchanged.
 
 use std::collections::BTreeMap;
 
@@ -34,13 +44,17 @@ use crate::rules::{rule_class, RULES};
 use crate::Scan;
 
 /// Schema identifier written into every report.
-pub const LINT_SCHEMA: &str = "swque-lint-v2";
+pub const LINT_SCHEMA: &str = "swque-lint-v3";
 
-/// The previous report schema, still accepted by consumers (findings lack
-/// `rule_class`).
+/// The v2 schema, still accepted by consumers (findings lack the domain
+/// pair and chain).
+pub const LINT_SCHEMA_V2: &str = "swque-lint-v2";
+
+/// The original report schema, still accepted by consumers (findings
+/// additionally lack `rule_class`).
 pub const LINT_SCHEMA_V1: &str = "swque-lint-v1";
 
-/// Serializes a scan plus its ratchet verdict as a `swque-lint-v2`
+/// Serializes a scan plus its ratchet verdict as a `swque-lint-v3`
 /// document.
 pub fn report_json(scan: &Scan, counts: &BTreeMap<&'static str, u64>, baseline: &Baseline) -> Json {
     let ok = counts.iter().all(|(rule, &n)| n <= baseline.allowed(rule));
@@ -65,6 +79,9 @@ pub fn report_json(scan: &Scan, counts: &BTreeMap<&'static str, u64>, baseline: 
                 ("line", Json::from(u64::from(f.line))),
                 ("col", Json::from(u64::from(f.col))),
                 ("message", Json::from(f.message.as_str())),
+                ("domain_from", Json::from(f.domain_from.as_str())),
+                ("domain_to", Json::from(f.domain_to.as_str())),
+                ("chain", Json::from(f.chain.as_str())),
             ])
         })
         .collect();
@@ -78,48 +95,60 @@ pub fn report_json(scan: &Scan, counts: &BTreeMap<&'static str, u64>, baseline: 
     ])
 }
 
-/// Lifts a lint report to the current schema. A v2 document is returned
-/// unchanged; a v1 document gets its schema bumped and a `rule_class`
-/// derived from each finding's rule name (inserted directly after `rule`,
-/// preserving v2 key order). Anything else is an error.
+/// Lifts a lint report to the current schema. A v3 document is returned
+/// unchanged; a v2 document gets the empty `domain_from`/`domain_to`/
+/// `chain` keys appended to each finding; a v1 document additionally
+/// gets a `rule_class` derived from each finding's rule name (inserted
+/// directly after `rule`, preserving current key order). Anything else
+/// is an error.
 pub fn migrate_report(doc: &Json) -> Result<Json, String> {
-    match doc.get("schema").and_then(Json::as_str) {
-        Some(LINT_SCHEMA) => Ok(doc.clone()),
-        Some(LINT_SCHEMA_V1) => {
-            let Json::Obj(pairs) = doc else {
-                return Err("lint report is not an object".to_string());
-            };
-            let pairs = pairs
-                .iter()
-                .map(|(k, v)| {
-                    let v = match k.as_str() {
-                        "schema" => Json::from(LINT_SCHEMA),
-                        "findings" => {
-                            let arr = v.as_arr().unwrap_or(&[]);
-                            Json::Arr(arr.iter().map(migrate_finding).collect())
-                        }
-                        _ => v.clone(),
-                    };
-                    (k.clone(), v)
-                })
-                .collect();
-            Ok(Json::Obj(pairs))
+    let schema = doc.get("schema").and_then(Json::as_str);
+    let (add_class, add_domains) = match schema {
+        Some(LINT_SCHEMA) => return Ok(doc.clone()),
+        Some(LINT_SCHEMA_V2) => (false, true),
+        Some(LINT_SCHEMA_V1) => (true, true),
+        other => {
+            return Err(format!(
+                "lint report schema {other:?}, expected {LINT_SCHEMA:?}, {LINT_SCHEMA_V2:?}, \
+                 or {LINT_SCHEMA_V1:?}"
+            ))
         }
-        other => Err(format!(
-            "lint report schema {other:?}, expected {LINT_SCHEMA:?} or {LINT_SCHEMA_V1:?}"
-        )),
-    }
+    };
+    let Json::Obj(pairs) = doc else {
+        return Err("lint report is not an object".to_string());
+    };
+    let pairs = pairs
+        .iter()
+        .map(|(k, v)| {
+            let v = match k.as_str() {
+                "schema" => Json::from(LINT_SCHEMA),
+                "findings" => {
+                    let arr = v.as_arr().unwrap_or(&[]);
+                    Json::Arr(arr.iter().map(|f| migrate_finding(f, add_class, add_domains)).collect())
+                }
+                _ => v.clone(),
+            };
+            (k.clone(), v)
+        })
+        .collect();
+    Ok(Json::Obj(pairs))
 }
 
-/// Inserts the derived `rule_class` after `rule` in one v1 finding.
-fn migrate_finding(f: &Json) -> Json {
+/// Lifts one finding: optionally inserts the derived `rule_class` after
+/// `rule`, then appends the empty v3 keys.
+fn migrate_finding(f: &Json, add_class: bool, add_domains: bool) -> Json {
     let Json::Obj(pairs) = f else { return f.clone() };
     let class = f.get("rule").and_then(Json::as_str).map(rule_class).unwrap_or("token");
-    let mut out = Vec::with_capacity(pairs.len() + 1);
+    let mut out = Vec::with_capacity(pairs.len() + 4);
     for (k, v) in pairs {
         out.push((k.clone(), v.clone()));
-        if k == "rule" {
+        if add_class && k == "rule" {
             out.push(("rule_class".to_string(), Json::from(class)));
+        }
+    }
+    if add_domains {
+        for key in ["domain_from", "domain_to", "chain"] {
+            out.push((key.to_string(), Json::from("")));
         }
     }
     Json::Obj(out)
@@ -130,19 +159,33 @@ mod tests {
     use super::*;
     use crate::rules::Finding;
 
+    const V3_FINDING_KEYS: [&str; 9] = [
+        "rule",
+        "rule_class",
+        "file",
+        "line",
+        "col",
+        "message",
+        "domain_from",
+        "domain_to",
+        "chain",
+    ];
+
     fn scan_with(findings: Vec<Finding>) -> Scan {
         Scan { findings, suppressed: 1, files_scanned: 3 }
     }
 
     #[test]
     fn report_shape_is_stable_and_parses() {
-        let scan = scan_with(vec![Finding {
-            rule: "wall-clock",
-            file: "crates/core/src/x.rs".to_string(),
-            line: 4,
-            col: 9,
-            message: "`Instant` outside the sanctioned timing harness".to_string(),
-        }]);
+        let mut f = Finding::new(
+            "wall-clock",
+            "crates/core/src/x.rs".to_string(),
+            4,
+            9,
+            "`Instant` outside the sanctioned timing harness".to_string(),
+        );
+        f.chain = String::new();
+        let scan = scan_with(vec![f]);
         let doc = report_json(&scan, &scan.counts(), &Baseline::default());
         assert_eq!(
             doc.keys(),
@@ -156,18 +199,38 @@ mod tests {
             assert_eq!(r.keys(), vec!["rule", "count", "baseline"]);
         }
         let findings = doc.get("findings").and_then(Json::as_arr).unwrap();
-        assert_eq!(
-            findings[0].keys(),
-            vec!["rule", "rule_class", "file", "line", "col", "message"]
-        );
+        assert_eq!(findings[0].keys(), V3_FINDING_KEYS.to_vec());
         assert_eq!(findings[0].get("rule_class").and_then(Json::as_str), Some("token"));
+        assert_eq!(findings[0].get("domain_from").and_then(Json::as_str), Some(""));
         // Round-trips through the in-tree parser.
         let back = Json::parse(&doc.to_string()).unwrap();
         assert_eq!(back, doc);
     }
 
     #[test]
-    fn migrates_v1_to_v2_and_v2_is_identity() {
+    fn dataflow_findings_carry_their_domain_pair() {
+        let mut f = Finding::new(
+            "cross-domain-call",
+            "crates/mem/src/hierarchy.rs".to_string(),
+            360,
+            40,
+            "completion stamp passed as launch".to_string(),
+        );
+        f.domain_from = "CycleStamp(completion)".to_string();
+        f.domain_to = "CycleStamp(launch)".to_string();
+        let scan = scan_with(vec![f]);
+        let doc = report_json(&scan, &scan.counts(), &Baseline::default());
+        let j = &doc.get("findings").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(j.get("rule_class").and_then(Json::as_str), Some("dataflow"));
+        assert_eq!(
+            j.get("domain_from").and_then(Json::as_str),
+            Some("CycleStamp(completion)")
+        );
+        assert_eq!(j.get("domain_to").and_then(Json::as_str), Some("CycleStamp(launch)"));
+    }
+
+    #[test]
+    fn migrates_v1_and_v2_to_v3_and_v3_is_identity() {
         let v1 = Json::parse(
             r#"{"schema":"swque-lint-v1","files_scanned":1,"suppressed":0,
                 "status":"baseline-exceeded",
@@ -176,17 +239,29 @@ mod tests {
                              "line":3,"col":5,"message":"m"}]}"#,
         )
         .unwrap();
-        let v2 = migrate_report(&v1).unwrap();
-        assert_eq!(v2.get("schema").and_then(Json::as_str), Some(LINT_SCHEMA));
-        let f = &v2.get("findings").and_then(Json::as_arr).unwrap()[0];
-        assert_eq!(
-            f.keys(),
-            vec!["rule", "rule_class", "file", "line", "col", "message"],
-            "rule_class lands directly after rule"
-        );
+        let v3 = migrate_report(&v1).unwrap();
+        assert_eq!(v3.get("schema").and_then(Json::as_str), Some(LINT_SCHEMA));
+        let f = &v3.get("findings").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(f.keys(), V3_FINDING_KEYS.to_vec(), "v1 gains class + v3 keys");
         assert_eq!(f.get("rule_class").and_then(Json::as_str), Some("reachability"));
-        // Migration is idempotent: a v2 document passes through unchanged.
-        assert_eq!(migrate_report(&v2).unwrap(), v2);
+        assert_eq!(f.get("chain").and_then(Json::as_str), Some(""));
+
+        let v2 = Json::parse(
+            r#"{"schema":"swque-lint-v2","files_scanned":1,"suppressed":0,
+                "status":"ok",
+                "rules":[{"rule":"wall-clock","count":0,"baseline":0}],
+                "findings":[{"rule":"wall-clock","rule_class":"token",
+                             "file":"crates/core/src/x.rs",
+                             "line":3,"col":5,"message":"m"}]}"#,
+        )
+        .unwrap();
+        let lifted = migrate_report(&v2).unwrap();
+        assert_eq!(lifted.get("schema").and_then(Json::as_str), Some(LINT_SCHEMA));
+        let f = &lifted.get("findings").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(f.keys(), V3_FINDING_KEYS.to_vec(), "v2 gains exactly the v3 keys");
+
+        // Migration is idempotent: a v3 document passes through unchanged.
+        assert_eq!(migrate_report(&lifted).unwrap(), lifted);
         // Unknown schemas are an error, not a silent pass-through.
         let junk = Json::obj([("schema", Json::from("swque-lint-v0"))]);
         assert!(migrate_report(&junk).unwrap_err().contains("schema"));
@@ -194,13 +269,13 @@ mod tests {
 
     #[test]
     fn status_ok_when_baseline_holds_the_debt() {
-        let scan = scan_with(vec![Finding {
-            rule: "panic-in-lib",
-            file: "crates/bench/src/output.rs".to_string(),
-            line: 1,
-            col: 1,
-            message: "x".to_string(),
-        }]);
+        let scan = scan_with(vec![Finding::new(
+            "panic-in-lib",
+            "crates/bench/src/output.rs".to_string(),
+            1,
+            1,
+            "x".to_string(),
+        )]);
         let counts = scan.counts();
         let baseline = Baseline::from_counts(&counts);
         let doc = report_json(&scan, &counts, &baseline);

@@ -19,7 +19,7 @@
 //! finding (`malformed-pragma`): silent or unexplained suppressions are
 //! exactly what the tool exists to prevent.
 //!
-//! Rules come in three classes (reported per finding as `rule_class`):
+//! Rules come in four classes (reported per finding as `rule_class`):
 //!
 //! * **token** — pattern over the lexed token stream (wall-clock, env
 //!   reads, manifest hygiene). These predate the parser and need no
@@ -27,15 +27,25 @@
 //! * **ast** — judgement over parsed structure: is this `HashMap`
 //!   *iterated* or merely probed? Is this `as` cast *narrowing* a cycle
 //!   counter? Is the container part of the *public* API surface?
-//! * **reachability** — the `panic-in-lib` pass walks a call-graph-lite
-//!   over the file's functions and attributes every panic site to the
-//!   public item that reaches it, so the debt list reads as an API audit
-//!   rather than a grep dump.
+//! * **reachability** — the `panic-in-lib` pass walks the workspace-wide
+//!   call graph of [`crate::resolve`] and attributes every panic site to
+//!   the public item that reaches it — across files and crates since v3 —
+//!   so the debt list reads as an API audit rather than a grep dump.
+//! * **dataflow** — the cycle-domain pass of [`crate::domains`]
+//!   classifies integer values (cycle stamps vs deltas vs instruction
+//!   counts vs …) and flags cross-domain arithmetic, comparison, and
+//!   argument passing.
+//!
+//! Since v3 the engine scans the workspace as **one program**: every file
+//! is parsed into a [`crate::resolve::Program`], per-file passes run per
+//! unit, and the reachability and dataflow passes run over the whole
+//! model. [`scan_rust`] remains as the one-file wrapper the fixture
+//! suite exercises.
 
+use crate::domains;
 use crate::lexer::{lex, Tok, TokKind};
-use crate::parser::{
-    parse, walk_exprs, walk_items, Ast, Expr, ExprKind, ItemKind,
-};
+use crate::parser::{walk_exprs, walk_items, Ast, Expr, ExprKind, ItemKind};
+use crate::resolve::{self, Program};
 
 /// Every rule the analyzer knows, in report order.
 ///
@@ -74,11 +84,21 @@ use crate::parser::{
 /// * `interior-mutability` — `Cell`/`RefCell`/`UnsafeCell` or
 ///   `static mut` in a deterministic crate: hidden mutation channels
 ///   defeat the "same inputs, same trace" audit.
-/// * `malformed-pragma` — a `swque-lint:` pragma that fails to parse.
+/// * `cross-domain-arith` — arithmetic or comparison that mixes cycle
+///   domains (stamp+stamp, delta−stamp, a stamp compared against a
+///   delta, a stamp-named binding initialized from a delta) in a
+///   deterministic crate; see [`crate::domains`] for the algebra.
+/// * `cross-domain-call` — an argument whose inferred domain contradicts
+///   the parameter's seeded/annotated domain at a call site resolved
+///   through the workspace call graph — including a `CycleStamp`
+///   qualifier clash (`done_at` passed where a launch stamp is
+///   expected), the exact shape of the PR-8 prefetch bug.
+/// * `malformed-pragma` — a `swque-lint:` pragma or `swque-domain:`
+///   annotation that fails to parse.
 /// * `external-dep` — `rand`/`proptest`/`criterion` named in a manifest.
 /// * `registry-source` — a `source =` entry in `Cargo.lock` (the lockfile
 ///   must stay path-only for the offline build guarantee).
-pub const RULES: [&str; 13] = [
+pub const RULES: [&str; 15] = [
     "no-unsafe",
     "unordered-container",
     "iterated-unordered",
@@ -89,6 +109,8 @@ pub const RULES: [&str; 13] = [
     "truncating-cast",
     "unchecked-arith",
     "interior-mutability",
+    "cross-domain-arith",
+    "cross-domain-call",
     "malformed-pragma",
     "external-dep",
     "registry-source",
@@ -100,12 +122,13 @@ pub fn is_known_rule(rule: &str) -> bool {
 }
 
 /// The engine class a rule belongs to — carried per finding in the
-/// `swque-lint-v2` report as `rule_class`.
+/// `swque-lint-v3` report as `rule_class`.
 pub fn rule_class(rule: &str) -> &'static str {
     match rule {
         "unordered-container" | "iterated-unordered" | "truncating-cast" | "unchecked-arith"
         | "interior-mutability" => "ast",
         "panic-in-lib" => "reachability",
+        "cross-domain-arith" | "cross-domain-call" => "dataflow",
         _ => "token",
     }
 }
@@ -165,11 +188,12 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              The panic family (.unwrap(, .expect(, panic!, assert!,\n\
              assert_eq!, assert_ne!, unreachable!, todo!, unimplemented!) in\n\
              library code. Each finding is attributed to its enclosing\n\
-             function and, via the intra-file call graph, to the nearest\n\
-             public item that reaches it — so the debt reads as an API\n\
-             audit. debug_assert! is exempt (compiled out of release\n\
-             binaries). Burn down by bubbling a Result, saturating, or\n\
-             justifying the invariant with a reasoned pragma.\n\
+             function and, via the workspace-wide call graph (cross-file,\n\
+             cross-crate since v3), to the nearest public item that reaches\n\
+             it — so the debt reads as an API audit. debug_assert! is\n\
+             exempt (compiled out of release binaries). Burn down by\n\
+             bubbling a Result, saturating, or justifying the invariant\n\
+             with a reasoned pragma.\n\
              bad:  pub fn ipc(&self) -> f64 { self.div().unwrap() }\n\
              fix:  pub fn ipc(&self) -> Option<f64> { self.div() }"
         }
@@ -209,12 +233,42 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              bad:  stats: RefCell<Stats>\n\
              fix:  take &mut self, or move the state to the caller."
         }
+        "cross-domain-arith" => {
+            "cross-domain-arith [dataflow]\n\
+             Arithmetic, comparison, or a let-binding that mixes cycle\n\
+             domains in a deterministic crate. Values are classified\n\
+             (CycleStamp, CycleDelta, InstCount, IntervalIdx, ByteAddr,\n\
+             RequesterId, SlotTag) from names and `// swque-domain:`\n\
+             annotations; the legal algebra is stamp−stamp→delta and\n\
+             stamp±delta→stamp — adding two stamps, subtracting a stamp\n\
+             from a delta, or comparing a stamp against a delta is a unit\n\
+             error of exactly the kind behind the PR-8 prefetch bug.\n\
+             `*`/`/`/`%` erase the domain (insts/cycles is IPC, not a bug)\n\
+             and unknown operands never flag.\n\
+             bad:  let budget = done_at + issue_at;\n\
+             fix:  let budget = done_at - issue_at; // stamp - stamp = delta"
+        }
+        "cross-domain-call" => {
+            "cross-domain-call [dataflow]\n\
+             An argument whose inferred cycle domain contradicts the\n\
+             parameter's domain (seeded from its name or pinned by a\n\
+             `// swque-domain:` annotation on the callee signature), at a\n\
+             call site resolved through the workspace-wide call graph.\n\
+             CycleStamp qualifiers are enforced here: passing a\n\
+             completion-qualified stamp (`done_at`) where the callee\n\
+             declares `CycleStamp(launch)` re-creates the PR-8 bug of\n\
+             launching prefetches at the demand's completion cycle.\n\
+             bad:  dram.request_from(requester, done_at)\n\
+             fix:  dram.request_from(requester, pf_issue_at)"
+        }
         "malformed-pragma" => {
             "malformed-pragma [token]\n\
-             A `// swque-lint: …` comment that fails to parse — unknown rule\n\
-             name, missing parens, or missing reason. Silent or unexplained\n\
-             suppressions are what the tool exists to prevent, so a broken\n\
-             pragma is itself a finding rather than a silent no-op.\n\
+             A `// swque-lint: …` pragma or `// swque-domain: …` annotation\n\
+             that fails to parse — unknown rule or domain name, missing\n\
+             parens, or missing reason. Silent or unexplained suppressions\n\
+             (and silently ignored annotations) are what the tool exists to\n\
+             prevent, so a broken comment is itself a finding rather than a\n\
+             silent no-op.\n\
              bad:  // swque-lint: allow(wall-clock)\n\
              fix:  // swque-lint: allow(wall-clock) — bench timer, documented"
         }
@@ -251,6 +305,32 @@ pub struct Finding {
     pub col: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// Dataflow rules: the domain the offending value actually has
+    /// (rendered per the annotation grammar, e.g. `CycleStamp(completion)`).
+    /// Empty for other rules.
+    pub domain_from: String,
+    /// Dataflow rules: the domain the context expects. Empty otherwise.
+    pub domain_to: String,
+    /// Reachability rules: the pub-to-site hop chain (`entry:12 →
+    /// helper:40 (crates/cpu/src/core.rs)`). Empty when the site is
+    /// directly public, at module scope, or the rule carries no chain.
+    pub chain: String,
+}
+
+impl Finding {
+    /// A finding with empty v3 extras (`domain_from`/`domain_to`/`chain`).
+    pub fn new(rule: &'static str, file: String, line: u32, col: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            file,
+            line,
+            col,
+            message,
+            domain_from: String::new(),
+            domain_to: String::new(),
+            chain: String::new(),
+        }
+    }
 }
 
 impl std::fmt::Display for Finding {
@@ -370,13 +450,9 @@ fn collect_pragmas(toks: &[Tok<'_>], rel: &str) -> (Vec<Pragma>, Vec<Finding>) {
         let Some(body) = body.strip_prefix("swque-lint:") else { continue };
         match parse_pragma_body(body) {
             Ok(rules) => pragmas.push(Pragma { line: t.line, rules }),
-            Err(why) => findings.push(Finding {
-                rule: "malformed-pragma",
-                file: rel.to_string(),
-                line: t.line,
-                col: t.col,
-                message: why,
-            }),
+            Err(why) => {
+                findings.push(Finding::new("malformed-pragma", rel.to_string(), t.line, t.col, why));
+            }
         }
     }
     (pragmas, findings)
@@ -449,7 +525,7 @@ fn token_rules(
 ) {
     let text_at = |k: usize| ast.tok(k).map(|t| t.text);
     let mut push = |rule: &'static str, t: &Tok<'_>, message: String| {
-        out.push(Finding { rule, file: rel.to_string(), line: t.line, col: t.col, message });
+        out.push(Finding::new(rule, rel.to_string(), t.line, t.col, message));
     };
     for (i, t) in ast.toks.iter().enumerate() {
         if t.kind != TokKind::Ident {
@@ -634,18 +710,18 @@ fn ast_rules(ast: &Ast<'_>, rel: &str, out: &mut Vec<Finding>) {
         }
         let mut fire = |i: usize, surface: &str| {
             let (line, col) = ast.pos(i);
-            out.push(Finding {
-                rule: "unordered-container",
-                file: rel.to_string(),
+            out.push(Finding::new(
+                "unordered-container",
+                rel.to_string(),
                 line,
                 col,
-                message: format!(
+                format!(
                     "`{}` escapes through a public {surface} in a deterministic crate: a \
                      caller could iterate it in host hash order; expose a BTreeMap/BTreeSet, \
                      a sorted Vec, or a probe method instead",
                     ast.text(i)
                 ),
-            });
+            ));
         };
         match &item.kind {
             ItemKind::Fn { sig, .. } => {
@@ -680,18 +756,18 @@ fn ast_rules(ast: &Ast<'_>, rel: &str, out: &mut Vec<Finding>) {
                 if let Some(root) = iter_root(iter) {
                     if unordered_names.iter().any(|n| n == ast.text(root)) {
                         let (line, col) = ast.pos(root);
-                        out.push(Finding {
-                            rule: "iterated-unordered",
-                            file: rel.to_string(),
+                        out.push(Finding::new(
+                            "iterated-unordered",
+                            rel.to_string(),
                             line,
                             col,
-                            message: format!(
+                            format!(
                                 "`for` loop iterates `{}` (a HashMap/HashSet) in a \
                                  deterministic crate: iteration order depends on the host \
                                  hash seed",
                                 ast.text(root)
                             ),
-                        });
+                        ));
                     }
                 }
             }
@@ -701,18 +777,18 @@ fn ast_rules(ast: &Ast<'_>, rel: &str, out: &mut Vec<Finding>) {
                 if let Some(root) = iter_root(recv) {
                     if unordered_names.iter().any(|n| n == ast.text(root)) {
                         let (line, col) = ast.pos(*name);
-                        out.push(Finding {
-                            rule: "iterated-unordered",
-                            file: rel.to_string(),
+                        out.push(Finding::new(
+                            "iterated-unordered",
+                            rel.to_string(),
                             line,
                             col,
-                            message: format!(
+                            format!(
                                 "`.{}()` consumes `{}` (a HashMap/HashSet) in iteration \
                                  order in a deterministic crate",
                                 ast.text(*name),
                                 ast.text(root)
                             ),
-                        });
+                        ));
                     }
                 }
             }
@@ -724,18 +800,18 @@ fn ast_rules(ast: &Ast<'_>, rel: &str, out: &mut Vec<Finding>) {
                 });
                 if let (Some(ty_tok), Some(src_tok)) = (narrow, counter) {
                     let (line, col) = ast.pos(expr.lo);
-                    out.push(Finding {
-                        rule: "truncating-cast",
-                        file: rel.to_string(),
+                    out.push(Finding::new(
+                        "truncating-cast",
+                        rel.to_string(),
                         line,
                         col,
-                        message: format!(
+                        format!(
                             "`{} as {}` narrows a counter-typed expression in a \
                              deterministic crate; keep u64 or use try_from at a checked edge",
                             ast.text(src_tok),
                             ast.text(ty_tok)
                         ),
-                    });
+                    ));
                 }
             }
             ExprKind::Binary { op: "-", op_tok, lhs, rhs } => {
@@ -747,15 +823,15 @@ fn ast_rules(ast: &Ast<'_>, rel: &str, out: &mut Vec<Finding>) {
                 };
                 if counter_leaf(lhs) && counter_leaf(rhs) {
                     let (line, col) = ast.pos(*op_tok);
-                    out.push(Finding {
-                        rule: "unchecked-arith",
-                        file: rel.to_string(),
+                    out.push(Finding::new(
+                        "unchecked-arith",
+                        rel.to_string(),
                         line,
                         col,
-                        message: "bare `-` between counters in a deterministic crate; the \
-                                  workspace convention for counter deltas is `saturating_sub`"
+                        "bare `-` between counters in a deterministic crate; the \
+                         workspace convention for counter deltas is `saturating_sub`"
                             .to_string(),
-                    });
+                    ));
                 }
             }
             _ => {}
@@ -769,139 +845,35 @@ fn ast_rules(ast: &Ast<'_>, rel: &str, out: &mut Vec<Finding>) {
         }
         if let ItemKind::Static { mutable: true } = item.kind {
             let (line, col) = ast.pos(item.lo);
-            out.push(Finding {
-                rule: "interior-mutability",
-                file: rel.to_string(),
+            out.push(Finding::new(
+                "interior-mutability",
+                rel.to_string(),
                 line,
                 col,
-                message: "`static mut` in a deterministic crate".to_string(),
-            });
+                "`static mut` in a deterministic crate".to_string(),
+            ));
         }
     });
 }
 
 // ---------------------------------------------------------------------------
-// The panic-reachability pass.
+// The panic-reachability pass (workspace-wide since v3).
 // ---------------------------------------------------------------------------
 
-/// One function the reachability pass knows about.
-struct FnInfo<'a> {
-    name: &'a str,
-    vis_pub: bool,
-    lo: usize,
-    hi: usize,
-    line: u32,
-}
-
-/// Collects every `fn` item (at any nesting depth) with its token range.
-fn collect_fns<'a>(ast: &Ast<'a>) -> Vec<FnInfo<'a>> {
-    let mut fns = Vec::new();
-    walk_items(ast, &ast.items, false, &mut |item, _| {
-        if let ItemKind::Fn { name, .. } = item.kind {
-            fns.push(FnInfo {
-                name: ast.text(name),
-                vis_pub: item.vis_pub,
-                lo: item.lo,
-                hi: item.hi,
-                line: ast.pos(item.lo).0,
-            });
-        }
-    });
-    fns
-}
-
-/// The innermost function whose token range contains `tok_idx`.
-fn enclosing_fn(fns: &[FnInfo<'_>], tok_idx: usize) -> Option<usize> {
-    fns.iter()
-        .enumerate()
-        .filter(|(_, f)| f.lo <= tok_idx && tok_idx < f.hi)
-        .max_by_key(|(_, f)| f.lo)
-        .map(|(i, _)| i)
-}
-
-/// `callers[g]` = indices of functions whose body mentions `fns[g].name`.
-/// Name-based ("call-graph-lite"): `self.g()`, `g(x)`, and `Self::g`
-/// all count; same-named methods across impls merge.
-fn caller_edges(ast: &Ast<'_>, fns: &[FnInfo<'_>]) -> Vec<Vec<usize>> {
-    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
-    for (f_idx, f) in fns.iter().enumerate() {
-        for i in f.lo..f.hi {
-            let Some(t) = ast.tok(i) else { continue };
-            if t.kind != TokKind::Ident {
-                continue;
-            }
-            for (g_idx, g) in fns.iter().enumerate() {
-                if g_idx == f_idx || t.text != g.name {
-                    continue;
-                }
-                // Skip the callee's own definition site.
-                if g.lo <= i && i < g.hi {
-                    continue;
-                }
-                if !callers[g_idx].contains(&f_idx) {
-                    callers[g_idx].push(f_idx);
-                }
-            }
-        }
-    }
-    callers
-}
-
-/// BFS from `start` backwards over `callers` to the nearest `pub fn`;
-/// returns the chain `[pub, …, start]` of fn indices when one exists.
-fn path_to_pub(fns: &[FnInfo<'_>], callers: &[Vec<usize>], start: usize) -> Option<Vec<usize>> {
-    if fns[start].vis_pub {
-        return Some(vec![start]);
-    }
-    let mut parent: Vec<Option<usize>> = vec![None; fns.len()];
-    let mut seen = vec![false; fns.len()];
-    let mut queue = std::collections::VecDeque::new();
-    seen[start] = true;
-    queue.push_back(start);
-    while let Some(x) = queue.pop_front() {
-        for &c in &callers[x] {
-            if seen[c] {
-                continue;
-            }
-            seen[c] = true;
-            parent[c] = Some(x);
-            if fns[c].vis_pub {
-                return Some(reconstruct(&parent, start, c));
-            }
-            queue.push_back(c);
-        }
-    }
-    None
-}
-
-/// Chain from `pub_fn` down to `start` following the BFS parents.
-fn reconstruct(parent: &[Option<usize>], start: usize, pub_fn: usize) -> Vec<usize> {
-    let mut chain = vec![pub_fn];
-    let mut cur = pub_fn;
-    while cur != start {
-        match parent[cur] {
-            Some(p) => {
-                chain.push(p);
-                cur = p;
-            }
-            None => break,
-        }
-    }
-    chain
-}
-
-/// The panic-family pass: find every site over the token stream (exact
-/// parity with the PR-4 token rule, so no site is lost to a parse
-/// degradation), then attribute each to its enclosing function and the
-/// nearest public item via the intra-file call graph.
+/// The panic-family pass for one unit of the program: find every site
+/// over the token stream (exact parity with the PR-4 token rule, so no
+/// site is lost to a parse degradation), then attribute each to its
+/// enclosing function and the nearest public item via the workspace-wide
+/// call graph of [`crate::resolve`] — the chain may cross files and
+/// crates, and foreign hops carry their file in the rendered chain.
 fn panic_rules(
-    ast: &Ast<'_>,
+    prog: &Program<'_>,
+    unit: usize,
     regions: &[(u32, u32)],
-    rel: &str,
     out: &mut Vec<Finding>,
 ) {
-    let fns = collect_fns(ast);
-    let callers = caller_edges(ast, &fns);
+    let ast = &prog.units[unit].ast;
+    let rel = prog.units[unit].rel;
     let text_at = |k: usize| ast.tok(k).map(|t| t.text);
     for (i, t) in ast.toks.iter().enumerate() {
         if t.kind != TokKind::Ident || line_in(regions, t.line) {
@@ -916,71 +888,96 @@ fn panic_rules(
             m if PANIC_MACROS.contains(&m) && next == Some("!") => format!("`{m}!`"),
             _ => continue,
         };
-        let attribution = match enclosing_fn(&fns, i) {
+        let mut chain_text = String::new();
+        let attribution = match prog.enclosing_fn(unit, i) {
             None => " at module scope".to_string(),
-            Some(e) => match path_to_pub(&fns, &callers, e) {
+            Some(e) => match resolve::path_to_pub(prog, e) {
                 Some(chain) if chain.len() == 1 => {
-                    format!(" in pub fn `{}`", fns[e].name)
+                    format!(" in pub fn `{}`", prog.fns[e].name)
                 }
                 Some(chain) => {
-                    let hops: Vec<String> = chain
-                        .iter()
-                        .map(|&f| format!("{}:{}", fns[f].name, fns[f].line))
-                        .collect();
+                    chain_text = resolve::format_chain(prog, &chain, unit);
                     format!(
                         " in `{}`, reachable from pub fn `{}` via {}",
-                        fns[e].name,
-                        fns[chain[0]].name,
-                        hops.join(" → ")
+                        prog.fns[e].name, prog.fns[chain[0]].name, chain_text
                     )
                 }
-                None => format!(" in `{}` (no public caller found in this file)", fns[e].name),
+                None => format!(
+                    " in `{}` (no public caller found in the workspace)",
+                    prog.fns[e].name
+                ),
             },
         };
-        out.push(Finding {
-            rule: "panic-in-lib",
-            file: rel.to_string(),
-            line: t.line,
-            col: t.col,
-            message: format!(
+        let mut f = Finding::new(
+            "panic-in-lib",
+            rel.to_string(),
+            t.line,
+            t.col,
+            format!(
                 "{what} in library code{attribution}; bubble a Result, saturate, or justify \
                  the invariant with a pragma"
             ),
-        });
+        );
+        f.chain = chain_text;
+        out.push(f);
     }
 }
 
 // ---------------------------------------------------------------------------
-// File entry points.
+// Program entry points.
 // ---------------------------------------------------------------------------
 
-/// Scans one Rust source file. Returns the surviving findings plus the
-/// number of findings a pragma suppressed.
-pub fn scan_rust(rel: &str, src: &str) -> (Vec<Finding>, usize) {
-    let policy = classify(rel);
-    let raw_toks = lex(src);
-    let (pragmas, mut findings) = collect_pragmas(&raw_toks, rel);
-    let ast = parse(src);
-    let regions = test_regions(&ast);
-
+/// Scans a set of Rust sources as **one program**: per-file token/AST
+/// rules, then the workspace passes (cross-file panic reachability and
+/// the cycle-domain dataflow pass), then per-file pragma suppression.
+/// Returns the surviving findings (sorted by file, line, col, rule) plus
+/// the number of findings pragmas suppressed.
+pub fn scan_sources(sources: &[(String, String)]) -> (Vec<Finding>, usize) {
+    let prog = Program::build(sources);
     let mut raw: Vec<Finding> = Vec::new();
-    token_rules(&ast, &policy, &regions, rel, &mut raw);
-    if policy.deterministic {
-        ast_rules(&ast, rel, &mut raw);
-    }
-    if policy.lib_code {
-        panic_rules(&ast, &regions, rel, &mut raw);
+    // Malformed pragmas/annotations bypass suppression: no pragma may
+    // suppress the finding that reports a broken pragma.
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut pragmas_by_file: std::collections::BTreeMap<&str, Vec<Pragma>> = Default::default();
+    let mut annots: Vec<Vec<domains::Annot>> = Vec::new();
+
+    for (u, (rel, src)) in sources.iter().enumerate() {
+        let policy = classify(rel);
+        let raw_toks = lex(src);
+        let (pragmas, mut malformed) = collect_pragmas(&raw_toks, rel);
+        let (file_annots, mut bad_annots) = domains::collect_annotations(&raw_toks, rel);
+        findings.append(&mut malformed);
+        findings.append(&mut bad_annots);
+        pragmas_by_file.insert(rel.as_str(), pragmas);
+        annots.push(file_annots);
+
+        let ast = &prog.units[u].ast;
+        let regions = test_regions(ast);
+        token_rules(ast, &policy, &regions, rel, &mut raw);
+        if policy.deterministic {
+            ast_rules(ast, rel, &mut raw);
+        }
+        if policy.lib_code {
+            panic_rules(&prog, u, &regions, &mut raw);
+        }
     }
 
-    // One finding per (rule, line): a `use std::time::Instant` should read
-    // as one diagnostic, not three.
-    raw.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    raw.dedup_by(|a, b| a.rule == b.rule && a.line == b.line);
+    let sigs = domains::fn_sigs(&prog, &annots);
+    domains::domain_rules(&prog, &sigs, &annots, &mut raw);
+
+    // One finding per (rule, file, line): a `use std::time::Instant`
+    // should read as one diagnostic, not three.
+    raw.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+    });
+    raw.dedup_by(|a, b| a.rule == b.rule && a.file == b.file && a.line == b.line);
 
     let mut suppressed = 0usize;
     for f in raw {
-        let allowed = pragmas.iter().any(|p| {
-            (p.line == f.line || p.line + 1 == f.line) && p.rules.iter().any(|r| r == f.rule)
+        let allowed = pragmas_by_file.get(f.file.as_str()).is_some_and(|pragmas| {
+            pragmas.iter().any(|p| {
+                (p.line == f.line || p.line + 1 == f.line) && p.rules.iter().any(|r| r == f.rule)
+            })
         });
         if allowed {
             suppressed += 1;
@@ -988,8 +985,19 @@ pub fn scan_rust(rel: &str, src: &str) -> (Vec<Finding>, usize) {
             findings.push(f);
         }
     }
-    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+    });
     (findings, suppressed)
+}
+
+/// Scans one Rust source file as a single-unit program. The fixture
+/// suite runs through this wrapper; its semantics are [`scan_sources`]
+/// over one file (so reachability chains and domain resolution see only
+/// this file, as in v2).
+pub fn scan_rust(rel: &str, src: &str) -> (Vec<Finding>, usize) {
+    let sources = vec![(rel.to_string(), src.to_string())];
+    scan_sources(&sources)
 }
 
 /// Scans a manifest (`Cargo.toml`) or lockfile (`Cargo.lock`) with the
@@ -1003,15 +1011,15 @@ pub fn scan_manifest(rel: &str, src: &str) -> Vec<Finding> {
         let col = (line.chars().count() - trimmed.chars().count()) as u32 + 1;
         if lock {
             if trimmed.starts_with("source =") {
-                findings.push(Finding {
-                    rule: "registry-source",
-                    file: rel.to_string(),
-                    line: line_no,
+                findings.push(Finding::new(
+                    "registry-source",
+                    rel.to_string(),
+                    line_no,
                     col,
-                    message: "Cargo.lock names a registry source; the lockfile must stay \
-                              path-only for the offline build"
+                    "Cargo.lock names a registry source; the lockfile must stay \
+                     path-only for the offline build"
                         .to_string(),
-                });
+                ));
             }
             continue;
         }
@@ -1020,15 +1028,15 @@ pub fn scan_manifest(rel: &str, src: &str) -> Vec<Finding> {
                 .strip_prefix(dep)
                 .is_some_and(|rest| !rest.starts_with(|c: char| c.is_alphanumeric() || c == '_'));
             if boundary_ok {
-                findings.push(Finding {
-                    rule: "external-dep",
-                    file: rel.to_string(),
-                    line: line_no,
+                findings.push(Finding::new(
+                    "external-dep",
+                    rel.to_string(),
+                    line_no,
                     col,
-                    message: format!(
+                    format!(
                         "manifest names external dependency `{dep}`; the workspace is hermetic"
                     ),
-                });
+                ));
             }
         }
     }
@@ -1067,7 +1075,7 @@ mod tests {
     fn every_rule_has_a_class_and_an_explanation() {
         for rule in RULES {
             assert!(
-                matches!(rule_class(rule), "token" | "ast" | "reachability"),
+                matches!(rule_class(rule), "token" | "ast" | "reachability" | "dataflow"),
                 "{rule}: bad class"
             );
             let text = explain(rule).unwrap_or_else(|| panic!("{rule}: no explanation"));
@@ -1078,6 +1086,8 @@ mod tests {
         assert_eq!(rule_class("panic-in-lib"), "reachability");
         assert_eq!(rule_class("iterated-unordered"), "ast");
         assert_eq!(rule_class("wall-clock"), "token");
+        assert_eq!(rule_class("cross-domain-arith"), "dataflow");
+        assert_eq!(rule_class("cross-domain-call"), "dataflow");
     }
 
     #[test]

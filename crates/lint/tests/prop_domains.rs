@@ -1,0 +1,191 @@
+//! swque-rng property tests for the cycle-domain dataflow pass.
+//!
+//! Programs are *generated with their expected verdict*: every function
+//! body is built from a name pool whose domains are known, so the test
+//! can compute — from the documented algebra alone — exactly how many
+//! `cross-domain-arith` findings the pass must report. Three shapes:
+//!
+//! 1. **Direct arithmetic / comparison** on two seeded parameters.
+//! 2. **Let-chains** — the same pair routed through one or more `let`
+//!    rebindings, which must not change the verdict (propagation is
+//!    domain-preserving).
+//! 3. **Annotated parameters** — a `// swque-domain:` annotation
+//!    overriding one side, with the verdict recomputed from the
+//!    annotated base.
+//!
+//! A final totality test runs the full `scan_rust` pipeline over token
+//! soup: whatever the input, the scanner returns rather than panics.
+
+use swque_lint::domains::{collect_annotations, domain_rules, fn_sigs, seed_name, Base};
+use swque_lint::lexer::lex;
+use swque_lint::resolve::Program;
+use swque_lint::rules::scan_rust;
+use swque_rng::prop::{check, Gen};
+
+/// Name pool with its seeded base. Names avoid `-`-adjacent counterish
+/// lexicon words only where needed: generated bodies use `+` and `<`
+/// exclusively, which no other rule inspects, so `cross-domain-arith`
+/// findings can be counted without cross-talk.
+const NAMES: &[(&str, Base)] = &[
+    ("done_at", Base::CycleStamp),
+    ("issue_at", Base::CycleStamp),
+    ("now", Base::CycleStamp),
+    ("hit_latency", Base::CycleDelta),
+    ("stall_penalty", Base::CycleDelta),
+    ("insts_retired", Base::InstCount),
+    ("line_addr", Base::ByteAddr),
+    ("requester", Base::RequesterId),
+    ("dst_tag", Base::SlotTag),
+    ("epoch", Base::IntervalIdx),
+];
+
+/// Annotation specs with their base, for the override shape.
+const SPECS: &[(&str, Base)] = &[
+    ("CycleStamp", Base::CycleStamp),
+    ("CycleStamp(launch)", Base::CycleStamp),
+    ("CycleStamp(completion)", Base::CycleStamp),
+    ("CycleDelta", Base::CycleDelta),
+    ("InstCount", Base::InstCount),
+    ("ByteAddr", Base::ByteAddr),
+    ("RequesterId", Base::RequesterId),
+    ("SlotTag", Base::SlotTag),
+    ("IntervalIdx", Base::IntervalIdx),
+];
+
+/// The documented `+` verdict: stamp+stamp and mixed bases (other than
+/// stamp±delta) are findings.
+fn add_is_finding(a: Base, b: Base) -> bool {
+    use Base::{CycleDelta, CycleStamp};
+    match (a, b) {
+        (CycleStamp, CycleStamp) => true,
+        (CycleStamp, CycleDelta) | (CycleDelta, CycleStamp) => false,
+        (x, y) => x != y,
+    }
+}
+
+/// The documented compare verdict: both known and bases differ.
+fn cmp_is_finding(a: Base, b: Base) -> bool {
+    a != b
+}
+
+/// Emits one function, returning how many findings it must produce.
+fn gen_fn(g: &mut Gen, idx: usize, out: &mut String) -> usize {
+    let (an, ab) = NAMES[g.gen_range(0..NAMES.len())];
+    let (bn, bb) = NAMES[g.gen_range(0..NAMES.len())];
+    if an == bn {
+        // `a + a` with one parameter: same base, never a finding for
+        // non-stamp bases; stamp+stamp still is.
+        out.push_str(&format!("fn f{idx}({an}: u64) -> u64 {{ {an} + {an} }}\n"));
+        return usize::from(add_is_finding(ab, bb));
+    }
+    match g.gen_range(0u32..4) {
+        0 => {
+            out.push_str(&format!("fn f{idx}({an}: u64, {bn}: u64) -> u64 {{ {an} + {bn} }}\n"));
+            usize::from(add_is_finding(ab, bb))
+        }
+        1 => {
+            out.push_str(&format!("fn f{idx}({an}: u64, {bn}: u64) -> bool {{ {an} < {bn} }}\n"));
+            usize::from(cmp_is_finding(ab, bb))
+        }
+        2 => {
+            // Let-chain: rebinding must preserve the verdict. The chain
+            // names are domain-neutral (`v0`, `v1`, …).
+            let hops = g.gen_range(1..3usize);
+            out.push_str(&format!("fn f{idx}({an}: u64, {bn}: u64) -> u64 {{\n"));
+            out.push_str(&format!("    let v0 = {an};\n"));
+            for h in 1..hops + 1 {
+                out.push_str(&format!("    let v{h} = v{};\n", h - 1));
+            }
+            out.push_str(&format!("    v{hops} + {bn}\n}}\n"));
+            usize::from(add_is_finding(ab, bb))
+        }
+        _ => {
+            // Annotated override on a neutral name: the annotation, not
+            // the (absent) seed, decides the verdict.
+            let (spec, sb) = SPECS[g.gen_range(0..SPECS.len())];
+            out.push_str(&format!("// swque-domain: x: {spec}\n"));
+            out.push_str(&format!("fn f{idx}(x: u64, {bn}: u64) -> u64 {{ x + {bn} }}\n"));
+            usize::from(add_is_finding(sb, bb))
+        }
+    }
+}
+
+/// Runs the dataflow pass alone over one deterministic-crate file.
+fn domain_findings(src: &str) -> Vec<swque_lint::rules::Finding> {
+    let sources = vec![("crates/mem/src/gen.rs".to_string(), src.to_string())];
+    let prog = Program::build(&sources);
+    let toks = lex(src);
+    let (annots, malformed) = collect_annotations(&toks, "crates/mem/src/gen.rs");
+    assert!(malformed.is_empty(), "generated annotations must parse: {malformed:?}");
+    let per_unit = vec![annots];
+    let sigs = fn_sigs(&prog, &per_unit);
+    let mut out = Vec::new();
+    domain_rules(&prog, &sigs, &per_unit, &mut out);
+    out
+}
+
+#[test]
+fn generated_programs_match_their_computed_verdict() {
+    check(256, |g| {
+        let mut src = String::new();
+        let mut expected = 0usize;
+        for idx in 0..g.gen_range(1..6usize) {
+            expected += gen_fn(g, idx, &mut src);
+        }
+        let found = domain_findings(&src);
+        assert!(
+            found.iter().all(|f| f.rule == "cross-domain-arith"),
+            "only arith findings expected: {found:?}"
+        );
+        assert_eq!(
+            found.len(),
+            expected,
+            "wrong finding count for generated program:\n{src}\n{found:?}"
+        );
+        for f in &found {
+            assert!(!f.domain_from.is_empty() && !f.domain_to.is_empty(), "{f:?}");
+        }
+    });
+}
+
+#[test]
+fn seeding_agrees_with_the_pool_and_is_total() {
+    check(256, |g| {
+        // Pool names seed to their table base...
+        let (name, base) = NAMES[g.gen_range(0..NAMES.len())];
+        assert_eq!(seed_name(name).map(|d| d.base), Some(base));
+        // ...and arbitrary identifier-ish strings never panic the seeder.
+        let junk: String = (0..g.gen_range(0..12usize))
+            .map(|_| {
+                let c = g.gen_range(0u32..38);
+                match c {
+                    0..=25 => (b'a' + c as u8) as char,
+                    26..=35 => (b'0' + (c - 26) as u8) as char,
+                    36 => '_',
+                    _ => 'é',
+                }
+            })
+            .collect();
+        let _ = seed_name(&junk);
+    });
+}
+
+#[test]
+fn full_scanner_is_total_on_soup() {
+    const SOUP: &[&str] = &[
+        "fn", "pub", "let", "=", "+", "-", "<", "(", ")", "{", "}", ";", ",", "->", "u64",
+        "done_at", "now", "hit_latency", "self", ".", "::", "// swque-domain:", "x:", "CycleStamp",
+        "saturating_sub", "unwrap", "\"s\"", "0", "/*", "#[", "]", "cfg(test)",
+    ];
+    check(256, |g| {
+        let n = g.gen_range(0..60usize);
+        let mut src = String::new();
+        for _ in 0..n {
+            src.push_str(SOUP[g.gen_range(0..SOUP.len())]);
+            src.push(if g.bool() { ' ' } else { '\n' });
+        }
+        // Whatever the soup (including torn annotations), the scanner
+        // returns findings rather than panicking.
+        let _ = scan_rust("crates/mem/src/soup.rs", &src);
+    });
+}

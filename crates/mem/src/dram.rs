@@ -126,6 +126,7 @@ impl Dram {
     /// the completion cycle. Single-requester channels keep the historical
     /// semantics: completion is `start + latency` where
     /// `start = max(now, next_free)`.
+    // swque-domain: now: CycleStamp(launch), return: CycleStamp(completion)
     pub fn request(&mut self, now: u64) -> u64 {
         self.request_from(0, now)
     }
@@ -136,6 +137,7 @@ impl Dram {
     /// # Panics
     ///
     /// Panics if `requester` is out of range for the channel.
+    // swque-domain: now: CycleStamp(launch), return: CycleStamp(completion)
     pub fn request_from(&mut self, requester: usize, now: u64) -> u64 {
         assert!(requester < self.per.len(), "requester id out of range"); // swque-lint: allow(panic-in-lib) — documented `# Panics` precondition
         // Expired holes: their start cycle passed unclaimed.

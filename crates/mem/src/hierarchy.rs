@@ -261,6 +261,7 @@ impl MemoryHierarchy {
     /// Performs an access starting at cycle `now` on behalf of requester 0;
     /// returns its timing. The single-core entry point — multi-core
     /// callers use [`access_from`](Self::access_from).
+    // swque-domain: now: CycleStamp(launch), addr: ByteAddr
     pub fn access(&mut self, addr: u64, kind: AccessKind, now: u64) -> AccessResult {
         self.access_from(0, addr, kind, now)
     }
@@ -271,6 +272,7 @@ impl MemoryHierarchy {
     /// # Panics
     ///
     /// Panics if `requester` is out of range for the hierarchy.
+    // swque-domain: now: CycleStamp(launch), addr: ByteAddr
     pub fn access_from(
         &mut self,
         requester: usize,

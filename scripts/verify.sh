@@ -61,13 +61,52 @@ neg_check interior-mutability crates/mem/src/injected.rs \
     'fn f() { let c = std::cell::RefCell::new(0u8); c.replace(1); }\n'
 neg_check panic-in-lib crates/trace/src/injected.rs \
     'pub fn head(v: &[u8]) -> u8 { *v.first().unwrap() }\n'
+neg_check cross-domain-arith crates/mem/src/injected.rs \
+    'fn f(done_at: u64, issue_at: u64) -> u64 { done_at + issue_at }\n'
+neg_check cross-domain-call crates/mem/src/injected.rs \
+    '// swque-domain: at: CycleStamp(launch)\nfn launch(at: u64) { let _ = at; }\nfn f(done_at: u64) { launch(done_at); }\n'
 
 echo "== lint: --explain smoke (every rule documents itself)"
+# The rule list must stay in sync with RULES in crates/lint/src/rules.rs;
+# the bad:/fix: example pair in each entry is enforced by the
+# every_rule_has_a_class_and_an_explanation meta-test in that file.
 for rule in no-unsafe unordered-container iterated-unordered truncating-cast \
             unchecked-arith interior-mutability wall-clock ambient-rng \
-            panic-in-lib env-read malformed-pragma external-dep registry-source; do
+            panic-in-lib env-read cross-domain-arith cross-domain-call \
+            malformed-pragma external-dep registry-source; do
     ./target/release/swque-lint --explain "$rule" > /dev/null
 done
+
+echo "== lint: regression demo (reverting the PR-8 prefetch launch fix must be caught)"
+# The dataflow pass exists to catch exactly the bug class PR 8 fixed:
+# launching a prefetch DRAM request at the *completion* stamp of the
+# triggering miss instead of its launch stamp. Re-introduce that bug in a
+# scratch copy of crates/mem and demand a cross-domain-call finding at the
+# precise call site; the fixed tree must stay clean.
+demo="$json_tmp/pr8-demo"
+mkdir -p "$demo/crates"
+cp -r crates/mem "$demo/crates/"
+./target/release/swque-lint --root "$demo" > /dev/null || {
+    echo "error: the fixed prefetch tree is not lint-clean" >&2
+    exit 1
+}
+sed -i 's/request_from(requester, pf_issue_at)/request_from(requester, done_at)/' \
+    "$demo/crates/mem/src/hierarchy.rs"
+bug_line="$(grep -n 'request_from(requester, done_at)' "$demo/crates/mem/src/hierarchy.rs" \
+    | cut -d: -f1)"
+[ -n "$bug_line" ] || {
+    echo "error: regression demo could not re-introduce the PR-8 bug (call site moved?)" >&2
+    exit 1
+}
+if ./target/release/swque-lint --root "$demo" > "$json_tmp/pr8-out.txt" 2>&1; then
+    echo "error: swque-lint passed a tree with the PR-8 prefetch bug re-introduced" >&2
+    exit 1
+fi
+grep -q "crates/mem/src/hierarchy.rs:$bug_line:.*cross-domain-call" "$json_tmp/pr8-out.txt" || {
+    echo "error: PR-8 regression not attributed to hierarchy.rs:$bug_line" >&2
+    cat "$json_tmp/pr8-out.txt" >&2
+    exit 1
+}
 
 echo "== json: schema smoke (fig09 -> check_json, reduced budget)"
 SWQUE_WARMUP=5000 SWQUE_INSTS=20000 SWQUE_JSON="$json_tmp/fig09.json" \

@@ -10,7 +10,10 @@
 //! manifests, `swque-sweep-shard-v1` per-unit shards, and
 //! `swque-sweep-campaign-v1` merged reports (shard and campaign-row
 //! `unit_key`s are re-derived from the embedded unit, so a tampered or
-//! stale shard fails here exactly as it fails the merge). Used by
+//! stale shard fails here exactly as it fails the merge), and
+//! `swque-mc-v1` model-checker reports (every violation's replay string
+//! is re-parsed under the `swque-mc-replay-v1` grammar and checked
+//! against the run's target and violated property). Used by
 //! `scripts/verify.sh` as the JSON smoke step for every producer.
 //!
 //! Diagnostics name the offending JSON path (`tables[2].rows[5]`,
@@ -41,6 +44,11 @@ const LINT_SCHEMA_V1: &str = "swque-lint-v1";
 /// The analysis layers a v2+ finding may name.
 const RULE_CLASSES: [&str; 4] = ["token", "ast", "reachability", "dataflow"];
 
+/// Schema string of `swque-mc` model-checker reports. A literal because
+/// the mc crate is a dev-dependency only; the unit tests assert it
+/// matches `swque_mc::MC_SCHEMA`.
+const MC_SCHEMA: &str = "swque-mc-v1";
+
 /// Dispatches on the document's declared `schema` field.
 fn check_report(doc: &Json) -> Result<String, String> {
     match doc.get("schema").and_then(Json::as_str).unwrap_or("") {
@@ -51,11 +59,115 @@ fn check_report(doc: &Json) -> Result<String, String> {
         MANIFEST_SCHEMA => check_sweep_manifest(doc),
         SHARD_SCHEMA => check_sweep_shard(doc),
         CAMPAIGN_SCHEMA => check_sweep_campaign(doc),
+        MC_SCHEMA => check_mc_report(doc),
         other => Err(format!(
             "schema: {other:?}, expected {BENCH_SCHEMA:?}, {LINT_SCHEMA:?}, {LINT_SCHEMA_V2:?}, \
-             {LINT_SCHEMA_V1:?}, {MANIFEST_SCHEMA:?}, {SHARD_SCHEMA:?}, or {CAMPAIGN_SCHEMA:?}"
+             {LINT_SCHEMA_V1:?}, {MANIFEST_SCHEMA:?}, {SHARD_SCHEMA:?}, {CAMPAIGN_SCHEMA:?}, \
+             or {MC_SCHEMA:?}"
         )),
     }
+}
+
+/// Validates one `swque-mc-v1` model-checker report: fixed key sets at
+/// every level, cross-field consistency (`closed` ⇔ `frontier == 0`,
+/// declared totals vs per-run sums), and every violation's replay string
+/// re-parsed under the `swque-mc-replay-v1` grammar with its `expect=`
+/// clause equal to the violated property and its target equal to the
+/// run's target.
+fn check_mc_report(doc: &Json) -> Result<String, String> {
+    use swque_core::replay::Replay;
+    let keys = doc.keys();
+    let expect = ["schema", "smoke", "runs", "total_states", "violations"];
+    if keys != expect {
+        return Err(format!("$: top-level keys {keys:?}, expected {expect:?}"));
+    }
+    doc.get("smoke").and_then(Json::as_bool).ok_or("smoke: not a bool")?;
+    let runs = doc.get("runs").and_then(Json::as_arr).ok_or("runs: not an array")?;
+    let mut states_sum = 0u64;
+    let mut violation_count = 0u64;
+    for (ri, run) in runs.iter().enumerate() {
+        let path = format!("runs[{ri}]");
+        let expect = [
+            "target", "capacity", "width", "depth", "inject", "states", "deepest", "frontier",
+            "closed", "violations",
+        ];
+        if run.keys() != expect {
+            return Err(format!("{path}: keys {:?}, expected {expect:?}", run.keys()));
+        }
+        let target = run
+            .get("target")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}.target: not a string"))?;
+        run.get("inject")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}.inject: not a string"))?;
+        for key in ["capacity", "width", "depth", "states", "deepest", "frontier"] {
+            run.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{path}.{key}: not an integer"))?;
+        }
+        let closed = run
+            .get("closed")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| format!("{path}.closed: not a bool"))?;
+        let frontier = run.get("frontier").and_then(Json::as_u64).unwrap_or(0);
+        if closed != (frontier == 0) {
+            return Err(format!("{path}: closed={closed} inconsistent with frontier={frontier}"));
+        }
+        states_sum += run.get("states").and_then(Json::as_u64).unwrap_or(0);
+        let violations = run
+            .get("violations")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{path}.violations: not an array"))?;
+        violation_count += violations.len() as u64;
+        for (vi, v) in violations.iter().enumerate() {
+            let vpath = format!("{path}.violations[{vi}]");
+            if v.keys() != ["property", "detail", "replay"] {
+                return Err(format!(
+                    "{vpath}: keys {:?}, expected property/detail/replay",
+                    v.keys()
+                ));
+            }
+            let property = v
+                .get("property")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{vpath}.property: not a string"))?;
+            v.get("detail")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{vpath}.detail: not a string"))?;
+            let replay = v
+                .get("replay")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{vpath}.replay: not a string"))?;
+            let parsed = Replay::parse(replay)
+                .map_err(|e| format!("{vpath}.replay: {}", e.message))?;
+            if parsed.target.label() != target {
+                return Err(format!(
+                    "{vpath}.replay: targets {}, run explores {target}",
+                    parsed.target.label()
+                ));
+            }
+            if parsed.expect.as_deref() != Some(property) {
+                return Err(format!(
+                    "{vpath}.replay: expect={:?} vs violated property {property:?}",
+                    parsed.expect
+                ));
+            }
+        }
+    }
+    let total_states =
+        doc.get("total_states").and_then(Json::as_u64).ok_or("total_states: not an integer")?;
+    if total_states != states_sum {
+        return Err(format!("total_states: {total_states} vs per-run sum {states_sum}"));
+    }
+    let declared = doc.get("violations").and_then(Json::as_u64).ok_or("violations: not an integer")?;
+    if declared != violation_count {
+        return Err(format!("violations: {declared} vs per-run count {violation_count}"));
+    }
+    Ok(format!(
+        "mc report: {} run(s), {states_sum} state(s), {violation_count} violation(s)",
+        runs.len()
+    ))
 }
 
 /// Validates a `swque-sweep-manifest-v1` campaign manifest by handing it
@@ -847,5 +959,87 @@ mod tests {
         ])])))
         .unwrap_err();
         assert!(err.starts_with("findings[0]:"), "{err}");
+    }
+
+    /// A schema-valid model-checker report via the real `swque-mc` writer.
+    fn valid_mc_doc(replay: &str) -> Json {
+        use swque_mc::{McRun, McViolation};
+        let run = McRun {
+            target: "CIRC-PC".to_string(),
+            capacity: 3,
+            width: 2,
+            depth: 24,
+            inject: "circ-pc-no-correct".to_string(),
+            states: 412,
+            deepest: 11,
+            frontier: 0,
+            closed: true,
+            violations: vec![McViolation {
+                property: "pc-age-ordered".to_string(),
+                detail: "granted seq 1001 after younger seq 1002".to_string(),
+                replay: replay.to_string(),
+            }],
+        };
+        swque_mc::report(true, &[run])
+    }
+
+    const MC_REPLAY: &str = "swque-mc-replay-v1 kind=CIRC-PC cap=3 width=2 \
+                             inject=circ-pc-no-correct expect=pc-age-ordered events=d-.-,s2";
+
+    #[test]
+    fn mc_schema_literal_matches_the_mc_crate() {
+        assert_eq!(MC_SCHEMA, swque_mc::MC_SCHEMA);
+    }
+
+    #[test]
+    fn accepts_mc_writer_output_and_round_trips() {
+        let doc = valid_mc_doc(MC_REPLAY);
+        let desc = check_report(&doc).expect("valid mc report");
+        assert!(desc.contains("1 run(s)"), "{desc}");
+        assert!(desc.contains("412 state(s)"), "{desc}");
+        assert!(desc.contains("1 violation(s)"), "{desc}");
+        // The compact rendering survives the in-tree parser byte-for-byte.
+        let text = doc.to_string();
+        let back = Json::parse(&text).expect("round trip");
+        assert_eq!(back.to_string(), text);
+        check_report(&back).expect("parsed copy still validates");
+    }
+
+    #[test]
+    fn rejects_mc_cross_field_inconsistencies() {
+        let doc = valid_mc_doc(MC_REPLAY);
+        // Declared totals must match the per-run sums.
+        let err = check_report(&with(&doc, "total_states", Json::from(9u64))).unwrap_err();
+        assert!(err.starts_with("total_states:"), "{err}");
+        let err = check_report(&with(&doc, "violations", Json::from(0u64))).unwrap_err();
+        assert!(err.starts_with("violations:"), "{err}");
+        // `closed` must agree with `frontier`.
+        let text = doc.to_string().replace("\"frontier\":0", "\"frontier\":7");
+        let err = check_report(&Json::parse(&text).unwrap()).unwrap_err();
+        assert!(err.contains("inconsistent with frontier=7"), "{err}");
+    }
+
+    #[test]
+    fn rejects_mc_replays_that_do_not_match_their_run() {
+        // Replay fails the grammar outright (assembled with `format!` so
+        // the broken trace is invisible to the `mc-replay` lint rule).
+        let magic = swque_core::replay::REPLAY_MAGIC;
+        let bad = valid_mc_doc(&format!("{magic} kind=CIRC-PC cap=3"));
+        let err = check_report(&bad).unwrap_err();
+        assert!(err.starts_with("runs[0].violations[0].replay:"), "{err}");
+        // Replay parses but names a different target than the run.
+        let wrong_target = valid_mc_doc(
+            "swque-mc-replay-v1 kind=SHIFT cap=3 width=2 inject=circ-pc-no-correct \
+             expect=pc-age-ordered events=d-.-,s2",
+        );
+        let err = check_report(&wrong_target).unwrap_err();
+        assert!(err.contains("targets SHIFT"), "{err}");
+        // Replay's expect clause disagrees with the violated property.
+        let wrong_expect = valid_mc_doc(
+            "swque-mc-replay-v1 kind=CIRC-PC cap=3 width=2 inject=circ-pc-no-correct \
+             expect=oldest-first events=d-.-,s2",
+        );
+        let err = check_report(&wrong_expect).unwrap_err();
+        assert!(err.contains("violated property"), "{err}");
     }
 }

@@ -23,7 +23,7 @@ use crate::stats::IqStats;
 use crate::types::{DispatchReq, Grant, IqFullError, IssueBudget, Tag};
 
 /// A circular issue queue (CIRC or CIRC-PPRI).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CircQueue {
     slots: SlotArray,
     /// Position of the oldest allocated entry.
@@ -251,6 +251,10 @@ impl IssueQueue for CircQueue {
 
     fn stats(&self) -> IqStats {
         self.stats
+    }
+
+    fn clone_box(&self) -> Box<dyn IssueQueue> {
+        Box::new(self.clone())
     }
 }
 

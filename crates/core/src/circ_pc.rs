@@ -52,7 +52,7 @@ use crate::types::{DispatchReq, Grant, IqFullError, IssueBudget, Tag};
 /// let g = q.select(&mut IssueBudget::new(2, [2, 0, 0, 0]));
 /// assert!(g.iter().any(|g| g.seq == 2 && g.two_cycle));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CircPcQueue {
     slots: SlotArray,
     head: usize,
@@ -62,6 +62,11 @@ pub struct CircPcQueue {
     pending: Vec<usize>,
     issue_width: usize,
     flpi_floor: usize,
+    /// Whether the priority-correcting S_RV/PTL/DTM machinery is active.
+    /// Always `true` on the simulated path; `false` only through
+    /// [`CircPcQueue::without_correction`], the model checker's
+    /// negative-injection hook.
+    correct: bool,
     stats: IqStats,
 }
 
@@ -75,8 +80,23 @@ impl CircPcQueue {
             pending: Vec::new(),
             issue_width: config.issue_width,
             flpi_floor: config.flpi_rank_floor(),
+            correct: true,
             stats: IqStats::default(),
         }
+    }
+
+    /// **Verification hook, not a simulator configuration.** Creates a
+    /// CIRC-PC queue with the priority-correction machinery disabled:
+    /// `S_NR` no longer masks the reverse plane under wrap-around and
+    /// `S_RV` never runs, so wrapped (young) instructions issue in
+    /// position order ahead of older ones — exactly the CIRC
+    /// reversed-priority defect §3.1 exists to fix. The `swque-mc`
+    /// negative-injection gate (`--inject circ-pc-no-correct`) builds this
+    /// variant to prove the checker's `pc-age-ordered` property
+    /// actually fails when the correction is reverted; nothing on the
+    /// simulated path constructs it.
+    pub fn without_correction(config: &IqConfig) -> CircPcQueue {
+        CircPcQueue { correct: false, ..CircPcQueue::new(config) }
     }
 
     fn capacity_(&self) -> usize {
@@ -191,7 +211,7 @@ impl IssueQueue for CircPcQueue {
         self.stats.region_sum += self.region as u64;
 
         let mut grants = Vec::new();
-        let wrapped = self.wrapped();
+        let wrapped = self.wrapped() && self.correct;
         let nwords = self.slots.ready_words().len();
 
         // 1. S_NR: grant NR requests in position order (= age order within
@@ -295,6 +315,10 @@ impl IssueQueue for CircPcQueue {
 
     fn stats(&self) -> IqStats {
         self.stats
+    }
+
+    fn clone_box(&self) -> Box<dyn IssueQueue> {
+        Box::new(self.clone())
     }
 }
 

@@ -1,0 +1,44 @@
+//! FNV-1a 64 content digesting.
+//!
+//! The workspace already content-addresses sweep shards with FNV-1a 64
+//! (`swque-bench`); this module is the same function hoisted to the core
+//! crate so the [`IssueQueue::state_digest`](crate::IssueQueue::state_digest)
+//! default and the `swque-mc` model checker share one implementation with
+//! the queue structures they digest. FNV-1a is not cryptographic — it is a
+//! fast, dependency-free, stable hash whose collisions on the small state
+//! renders digested here are negligible, and whose output is identical on
+//! every host (unlike `std`'s `Hasher`, which is seeded per process).
+
+/// The FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with FNV-1a 64.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_published_fnv1a_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(fnv1a64(b"CIRC-PC"), fnv1a64(b"CIRC"));
+        assert_ne!(fnv1a64(b"x"), fnv1a64(b"x\0"));
+    }
+}

@@ -62,10 +62,12 @@ pub mod bitset;
 mod circ;
 mod circ_pc;
 mod controller;
+pub mod digest;
 mod horizon;
 mod queue;
 mod random_queue;
 mod rearrange;
+pub mod replay;
 mod shift;
 mod slots;
 mod stats;
@@ -73,6 +75,7 @@ mod swque;
 mod types;
 
 pub use age_matrix::AgeMatrix;
+pub use digest::fnv1a64;
 pub use bitset::BitSet;
 pub use circ::CircQueue;
 pub use circ_pc::CircPcQueue;

@@ -229,9 +229,20 @@ pub trait IssueQueue: fmt::Debug + WakeHorizon {
     /// once per simulated cycle (it also advances per-cycle bookkeeping).
     fn select(&mut self, budget: &mut IssueBudget) -> Vec<Grant>;
 
-    /// True if at least one entry has all source operands ready — i.e. a
-    /// call to [`select`](IssueQueue::select) with a non-zero budget could
-    /// grant something this cycle. Must be a pure query (no bookkeeping).
+    /// True if at least one entry has all source operands ready. Must be a
+    /// pure query (no bookkeeping).
+    ///
+    /// This is **necessary but not sufficient** for a same-cycle grant: a
+    /// ready entry is guaranteed a grant within the organization's select
+    /// latency (one cycle for every queue here except CIRC-PC's reverse
+    /// plane, whose S_RV path takes two — the entry is latched as pending
+    /// on the first select and granted on the next), not necessarily on
+    /// the very next [`select`](IssueQueue::select). The sound direction
+    /// is unconditional: `has_ready() == false` implies the next select
+    /// grants nothing. Quiescence skipping (DESIGN.md §10) relies only on
+    /// that sound direction; the bounded-latency direction is checked
+    /// per-kind by the `swque-mc` model checker and the lockstep property
+    /// test in `crates/core/tests`.
     fn has_ready(&self) -> bool;
 
     /// Replays `cycles` consecutive idle cycles in one call, advancing
@@ -283,6 +294,34 @@ pub trait IssueQueue: fmt::Debug + WakeHorizon {
     /// SWQUE-specific statistics, if this queue switches modes.
     fn swque_stats(&self) -> Option<SwqueStats> {
         None
+    }
+
+    /// A 64-bit FNV-1a digest of this queue's *entire* observable state —
+    /// by contract exactly the [`fmt::Debug`] render, so two queues have
+    /// equal digests if and only if their `Debug` renders are equal
+    /// (`{:?}`, not `{:#?}`). Statistics counters are part of the render
+    /// and therefore part of the digest; consumers that want to compare
+    /// *architectural* state only (the `swque-mc` model checker's state
+    /// dedup) mask the statistics fields out of the render before hashing
+    /// — see DESIGN.md §12.
+    ///
+    /// Implementations must not override this with anything weaker: the
+    /// digest ⇔ `Debug` equivalence is property-tested across every
+    /// [`IqKind`].
+    fn state_digest(&self) -> u64 {
+        crate::digest::fnv1a64(format!("{self:?}").as_bytes())
+    }
+
+    /// Clones this queue behind a fresh box. This is the model checker's
+    /// state-fork primitive: trait objects cannot derive [`Clone`], so
+    /// every organization provides the boxed clone explicitly (and
+    /// `Box<dyn IssueQueue>` implements `Clone` through it).
+    fn clone_box(&self) -> Box<dyn IssueQueue>;
+}
+
+impl Clone for Box<dyn IssueQueue> {
+    fn clone(&self) -> Box<dyn IssueQueue> {
+        self.clone_box()
     }
 }
 

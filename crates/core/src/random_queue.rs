@@ -20,7 +20,7 @@ use crate::types::{DispatchReq, Grant, IqFullError, IssueBudget, Tag};
 
 /// A free-list queue: RAND (no matrices), AGE (one matrix), or AGE-multiAM
 /// (one matrix per bucket).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RandomQueue {
     slots: SlotArray,
     /// One age matrix per bucket; empty for RAND.
@@ -256,6 +256,10 @@ impl IssueQueue for RandomQueue {
 
     fn stats(&self) -> IqStats {
         self.stats
+    }
+
+    fn clone_box(&self) -> Box<dyn IssueQueue> {
+        Box::new(self.clone())
     }
 }
 

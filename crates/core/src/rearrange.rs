@@ -23,7 +23,7 @@ use crate::stats::IqStats;
 use crate::types::{DispatchReq, Grant, IqFullError, IssueBudget, Tag};
 
 /// The rearranging random queue (extension; see module docs).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RearrangingQueue {
     slots: SlotArray,
     /// Old-queue membership: `(seq, pos)` kept sorted by seq (age order).
@@ -273,6 +273,10 @@ impl IssueQueue for RearrangingQueue {
 
     fn stats(&self) -> IqStats {
         self.stats
+    }
+
+    fn clone_box(&self) -> Box<dyn IssueQueue> {
+        Box::new(self.clone())
     }
 }
 

@@ -37,7 +37,7 @@ impl Entry {
 /// let grants = q.select(&mut IssueBudget::new(2, [2, 1, 1, 1]));
 /// assert_eq!(grants[0].seq, 0, "strictly oldest first");
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ShiftQueue {
     capacity: usize,
     flpi_floor: usize,
@@ -150,6 +150,10 @@ impl IssueQueue for ShiftQueue {
 
     fn stats(&self) -> IqStats {
         self.stats
+    }
+
+    fn clone_box(&self) -> Box<dyn IssueQueue> {
+        Box::new(self.clone())
     }
 }
 

@@ -33,7 +33,7 @@ struct IntervalStart {
 }
 
 /// The mode switching issue queue.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Swque {
     circ_pc: CircPcQueue,
     age: RandomQueue,
@@ -75,13 +75,6 @@ impl Swque {
     /// Read-only access to the controller (for tests and instrumentation).
     pub fn controller(&self) -> &SwqueController {
         &self.controller
-    }
-
-    fn active(&self) -> &dyn IssueQueue {
-        match self.controller.mode() {
-            IqMode::Age => &self.age,
-            _ => &self.circ_pc,
-        }
     }
 
     fn active_mut(&mut self) -> &mut dyn IssueQueue {
@@ -128,7 +121,15 @@ impl IssueQueue for Swque {
     }
 
     fn len(&self) -> usize {
-        self.active().len()
+        // Route by the *effective* mode: in the poll-to-flush window the
+        // controller already points at the switch target, but the
+        // instructions still sit in the old structure (found by swque-mc:
+        // the controller-mode routing read the empty target and reported
+        // len 0 with entries still queued).
+        match self.effective_mode() {
+            IqMode::Age => self.age.len(),
+            _ => self.circ_pc.len(),
+        }
     }
 
     fn has_space(&self) -> bool {
@@ -205,6 +206,10 @@ impl IssueQueue for Swque {
             tag_reads: c.tag_reads + a.tag_reads,
             dispatch_stalls: c.dispatch_stalls + a.dispatch_stalls,
         }
+    }
+
+    fn clone_box(&self) -> Box<dyn IssueQueue> {
+        Box::new(self.clone())
     }
 
     fn poll_mode_switch(&mut self, cycle: u64, retired_insts: u64, llc_misses: u64) -> bool {

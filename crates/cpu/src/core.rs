@@ -58,6 +58,7 @@ use crate::lsq::{LoadAction, Lsq};
 use crate::rename::RenameState;
 use crate::result::{CoreStats, InvariantViolation, SimResult};
 use crate::rob::{Rob, RobEntry, RobState};
+use crate::switching;
 
 /// An instruction travelling through the front end (fetched or awaiting
 /// replay after a flush).
@@ -1100,9 +1101,11 @@ impl Core {
     fn poll_mode_switch(&mut self, mem: &MemoryHierarchy) {
         let before = self.iq.mode();
         let misses = mem.llc_demand_misses_of(self.requester);
-        if self.iq.poll_mode_switch(self.cycle, self.retired, misses) {
+        let switched = self.iq.poll_mode_switch(self.cycle, self.retired, misses);
+        let penalty = self.config.iq.swque.switch_penalty;
+        if let Some(response) = switching::mode_switch_response(self.cycle, penalty, switched) {
             self.full_flush();
-            self.fetch_stalled_until = self.cycle + self.config.iq.swque.switch_penalty;
+            self.fetch_stalled_until = response.fetch_stalled_until;
             self.stats.mode_switch_flushes += 1;
             if self.trace.enabled() {
                 if let (Some(from), Some(to)) = (before.trace(), self.iq.mode().trace()) {

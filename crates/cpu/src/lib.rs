@@ -41,6 +41,7 @@ mod multi;
 mod rename;
 mod result;
 mod rob;
+mod switching;
 
 pub use crate::core::{Core, PipelineSnapshot};
 pub use crate::multi::MultiCoreSim;
@@ -50,3 +51,4 @@ pub use lsq::{LoadAction, Lsq};
 pub use rename::RenameState;
 pub use result::{CoreStats, InvariantViolation, SimResult};
 pub use rob::{Rob, RobEntry, RobState};
+pub use switching::{mode_switch_response, SwitchResponse};

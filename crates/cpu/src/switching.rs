@@ -1,0 +1,62 @@
+//! Pipeline-side response to an issue-queue mode switch, as a pure function.
+//!
+//! The SWQUE controller decides *whether* to switch (`swque-core`'s
+//! `SwqueController`); the pipeline decides *what that costs*: a full flush
+//! and a fetch stall of `switch_penalty` cycles (paper §4.3's 10-cycle
+//! drain-and-reconfigure window). [`Core`](crate::Core) routes its poll
+//! through [`mode_switch_response`] so the cost model is a standalone
+//! transition function the `swque-mc` model checker and unit tests can
+//! exercise without building a pipeline.
+
+/// What the pipeline must do after the issue queue commits a mode switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchResponse {
+    /// First cycle at which fetch may run again; fetch is stalled for every
+    /// cycle strictly before this mark.
+    pub fetch_stalled_until: u64,
+}
+
+/// Maps the issue queue's mode-switch poll result to the pipeline response.
+///
+/// Returns `None` when no switch committed this cycle (`wants_switch` is
+/// false): the pipeline must not flush, stall, or count anything — polling
+/// is free. When a switch did commit, the response is unconditional: one
+/// full flush and a fetch stall covering exactly `switch_penalty` cycles
+/// starting at `cycle`. The charge is per *switch*, not per poll, which is
+/// the `swque-switch-once` property the model checker enforces.
+pub fn mode_switch_response(
+    cycle: u64,
+    switch_penalty: u64,
+    wants_switch: bool,
+) -> Option<SwitchResponse> {
+    if !wants_switch {
+        return None;
+    }
+    Some(SwitchResponse { fetch_stalled_until: cycle.saturating_add(switch_penalty) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_switch_is_free() {
+        assert_eq!(mode_switch_response(100, 10, false), None);
+        assert_eq!(mode_switch_response(0, 0, false), None);
+    }
+
+    #[test]
+    fn a_switch_stalls_fetch_for_exactly_the_penalty() {
+        let r = mode_switch_response(100, 10, true).unwrap();
+        assert_eq!(r.fetch_stalled_until, 110);
+        // A zero-penalty configuration resumes fetch on the same cycle.
+        let r = mode_switch_response(7, 0, true).unwrap();
+        assert_eq!(r.fetch_stalled_until, 7);
+    }
+
+    #[test]
+    fn the_stall_mark_saturates_instead_of_wrapping() {
+        let r = mode_switch_response(u64::MAX, 10, true).unwrap();
+        assert_eq!(r.fetch_stalled_until, u64::MAX);
+    }
+}

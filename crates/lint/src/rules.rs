@@ -95,10 +95,15 @@ use crate::resolve::{self, Program};
 ///   expected), the exact shape of the PR-8 prefetch bug.
 /// * `malformed-pragma` — a `swque-lint:` pragma or `swque-domain:`
 ///   annotation that fails to parse.
+/// * `mc-replay` — a string literal that begins with the
+///   `swque-mc-replay-v1` magic but fails `Replay::parse`. Replay
+///   strings are executable counterexamples; a committed trace that no
+///   longer parses is a dead test vector, so the grammar is enforced at
+///   lint time, the same way pragmas are.
 /// * `external-dep` — `rand`/`proptest`/`criterion` named in a manifest.
 /// * `registry-source` — a `source =` entry in `Cargo.lock` (the lockfile
 ///   must stay path-only for the offline build guarantee).
-pub const RULES: [&str; 15] = [
+pub const RULES: [&str; 16] = [
     "no-unsafe",
     "unordered-container",
     "iterated-unordered",
@@ -112,6 +117,7 @@ pub const RULES: [&str; 15] = [
     "cross-domain-arith",
     "cross-domain-call",
     "malformed-pragma",
+    "mc-replay",
     "external-dep",
     "registry-source",
 ];
@@ -272,6 +278,19 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              bad:  // swque-lint: allow(wall-clock)\n\
              fix:  // swque-lint: allow(wall-clock) — bench timer, documented"
         }
+        "mc-replay" => {
+            "mc-replay [token]\n\
+             A string literal starting with the `swque-mc-replay-v1` magic\n\
+             fails `swque_core::replay::Replay::parse`. Replay strings are\n\
+             executable counterexamples: the corpus under\n\
+             `crates/mc/tests/replays/` and every inline trace in a test\n\
+             must stay re-runnable, so the grammar is enforced here the\n\
+             same way pragma syntax is.\n\
+             bad:  \"swque-mc-replay-v1 kind=CIRC cap=x width=2 …\"\n\
+             fix:  render traces with `Replay::render`; build deliberately\n\
+             broken parser fixtures with `format!(\"{REPLAY_MAGIC} …\")` so\n\
+             the literal itself does not carry the magic."
+        }
         "external-dep" => {
             "external-dep [token]\n\
              A manifest names rand/proptest/criterion. The workspace is\n\
@@ -363,9 +382,11 @@ pub struct Policy {
 /// Crates whose library code runs on the simulated path and therefore must
 /// not observe host hash-seed nondeterminism. `branch` and `circuit` carry
 /// no containers today but are simulated-path crates, so the ban applies
-/// to them too; `swque` is the root facade.
-const DETERMINISTIC_CRATES: [&str; 9] =
-    ["core", "cpu", "mem", "isa", "workloads", "trace", "branch", "circuit", "swque"];
+/// to them too; `swque` is the root facade. `mc` is not simulated-path but
+/// its whole value is exhaustive reproducibility — the same determinism
+/// contract applies to the checker itself.
+const DETERMINISTIC_CRATES: [&str; 10] =
+    ["core", "cpu", "mem", "isa", "workloads", "trace", "branch", "circuit", "swque", "mc"];
 
 /// Files allowed to read the wall clock: the in-tree bench timer (the
 /// workspace's only `Instant` abstraction) and the host-throughput gate.
@@ -586,6 +607,80 @@ fn token_rules(
                 );
             }
             _ => {}
+        }
+    }
+}
+
+/// The cooked content of a string-literal token (`"…"`, `b"…"`, `r#"…"#`)
+/// with escapes resolved. `None` when the token is not a recoverable
+/// string form. `\x`/`\u` escapes are kept verbatim: replay strings are
+/// plain ASCII and a trace that needs them is malformed anyway.
+fn str_literal_content(raw: &str) -> Option<String> {
+    let rest = raw.strip_prefix('b').unwrap_or(raw);
+    if let Some(rest) = rest.strip_prefix('r') {
+        let hashes = rest.len() - rest.trim_start_matches('#').len();
+        let rest = rest[hashes..].strip_prefix('"')?;
+        let closer = format!("\"{}", "#".repeat(hashes));
+        return Some(rest.strip_suffix(closer.as_str()).unwrap_or(rest).to_string());
+    }
+    let rest = rest.strip_prefix('"')?;
+    let body = rest.strip_suffix('"').unwrap_or(rest);
+    let mut out = String::new();
+    let mut chars = body.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('0') => out.push('\0'),
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('\'') => out.push('\''),
+            Some('\n') => {
+                // Line continuation: swallow the newline and the next
+                // line's leading indentation.
+                while chars.peek().is_some_and(|c| c.is_whitespace()) {
+                    chars.next();
+                }
+            }
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => {}
+        }
+    }
+    Some(out)
+}
+
+/// `mc-replay`: every string literal that begins with the replay magic
+/// must parse under the `swque-mc-replay-v1` grammar. Applies everywhere,
+/// tests included — the committed counterexample corpus lives in test
+/// code, and a trace that stopped parsing is a dead vector. A literal
+/// holding the bare magic is a constant, not a trace, and is exempt.
+fn replay_literal_rules(toks: &[Tok<'_>], rel: &str, out: &mut Vec<Finding>) {
+    use swque_core::replay::{Replay, REPLAY_MAGIC};
+    for t in toks {
+        if t.kind != TokKind::Str {
+            continue;
+        }
+        let Some(content) = str_literal_content(t.text) else { continue };
+        let Some(rest) = content.strip_prefix(REPLAY_MAGIC) else { continue };
+        if rest.is_empty() {
+            continue;
+        }
+        if let Err(e) = Replay::parse(&content) {
+            out.push(Finding::new(
+                "mc-replay",
+                rel.to_string(),
+                t.line,
+                t.col,
+                format!("replay literal fails to parse: {}", e.message),
+            ));
         }
     }
 }
@@ -954,6 +1049,7 @@ pub fn scan_sources(sources: &[(String, String)]) -> (Vec<Finding>, usize) {
         let ast = &prog.units[u].ast;
         let regions = test_regions(ast);
         token_rules(ast, &policy, &regions, rel, &mut raw);
+        replay_literal_rules(&raw_toks, rel, &mut raw);
         if policy.deterministic {
             ast_rules(ast, rel, &mut raw);
         }

@@ -3,8 +3,9 @@
 //! `allow` pragma suppresses it.
 //!
 //! Fixtures are raw-string literals, not files on disk, so a workspace
-//! scan of this crate never sees them as real violations (string contents
-//! are opaque to the token-level rules).
+//! scan of this crate never sees them as real violations (the only rule
+//! that reads string contents, `mc-replay`, keys on the literal's leading
+//! characters, and every fixture here leads with Rust source text).
 
 use swque_lint::rules::{scan_manifest, scan_rust, Finding, RULES};
 
@@ -220,6 +221,42 @@ fn fixture_malformed_pragma() {
 }
 
 #[test]
+fn fixture_mc_replay() {
+    assert_rule(
+        "mc-replay",
+        "crates/mc/tests/corpus.rs",
+        "const T: &str = \"swque-mc-replay-v1 kind=CIRC cap=x width=1 inject=- expect=- \
+         events=-\";\n",
+        "// swque-lint: allow(mc-replay) — fixture: deliberately malformed trace\n\
+         const T: &str = \"swque-mc-replay-v1 kind=CIRC cap=x width=1 inject=- expect=- \
+         events=-\";\n",
+        1,
+        17,
+        "cap",
+    );
+}
+
+#[test]
+fn mc_replay_accepts_valid_traces_and_the_bare_magic() {
+    // A well-formed trace, the magic constant itself, and a raw-string
+    // trace must all lint clean; a malformed raw string must not.
+    let clean = "const A: &str = \"swque-mc-replay-v1 kind=SHIFT cap=2 width=1 inject=- \
+                 expect=- events=d-.-,s1\";\n\
+                 const M: &str = \"swque-mc-replay-v1\";\n\
+                 const R: &str = r#\"swque-mc-replay-v1 kind=CTRL cap=0 width=0 inject=- \
+                 expect=- events=e0:50\"#;\n";
+    let (findings, _) = scan_rust("crates/mc/tests/corpus.rs", clean);
+    assert!(findings.is_empty(), "{findings:?}");
+
+    let bad_raw = "const R: &str = r\"swque-mc-replay-v1 kind=CTRL cap=0 width=0 inject=- \
+                   expect=- events=s1\";\n";
+    let (findings, _) = scan_rust("crates/mc/tests/corpus.rs", bad_raw);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "mc-replay");
+    assert!(findings[0].message.contains("does not belong"), "{:?}", findings[0].message);
+}
+
+#[test]
 fn fixture_external_dep() {
     let findings = scan_manifest("crates/x/Cargo.toml", "[dependencies]\nproptest = \"1\"\n");
     assert_eq!(findings.len(), 1, "{findings:?}");
@@ -260,6 +297,7 @@ fn every_rule_has_a_fixture() {
         "cross-domain-arith",
         "cross-domain-call",
         "malformed-pragma",
+        "mc-replay",
         "external-dep",
         "registry-source",
     ];

@@ -1,0 +1,196 @@
+//! Canonicalization of queue `Debug` renders for visited-state
+//! deduplication (DESIGN.md §12).
+//!
+//! [`IssueQueue::state_digest`](swque_core::IssueQueue::state_digest)
+//! hashes the *entire* `Debug` render — statistics included — which is the
+//! right contract for replay-equivalence checks but far too fine for state
+//! enumeration: two architecturally identical queues that got there along
+//! different paths differ in their counters, their absolute sequence
+//! numbers, and inert bookkeeping like stale waiter registrations. This
+//! module rewrites a render into its **canonical architectural form**:
+//!
+//! * *balanced-masked fields* (`stats`, `waiters`, `trace`, `scratch`,
+//!   `old_scratch`) are replaced wholesale: statistics don't influence
+//!   future grants, stale waiter entries are skipped at the next broadcast
+//!   (their live content is fully determined by the slot sources), and
+//!   scratch vectors are rebuilt from scratch each select;
+//! * *masked totals* (`retired`, `llc_misses`, `issued`,
+//!   `issued_low_priority`, `next_interval_retired`, `last_reset_insts`,
+//!   `threshold_reductions`) are monotone counters whose *deltas* the
+//!   model checker holds constant — its event alphabet only ever advances
+//!   them in fixed interval steps, so states differing only in the
+//!   absolute totals are bisimilar within the explored alphabet;
+//! * *sequence renaming*: the checker assigns sequence numbers (and
+//!   payloads) starting at [`SEQ_BASE`], so any bare integer ≥ `SEQ_BASE`
+//!   in a render is a sequence value. Live ones are renamed to their age
+//!   rank (`s0` = oldest); stale ones (left in invalidated slots) to `#`.
+//!
+//! The masking is a *reduction*, not a soundness hazard: deduplication
+//! only prunes exploration, every stored state remains concrete, and every
+//! property is checked on concrete states before the dedup lookup.
+
+use std::collections::BTreeMap;
+
+/// First sequence number the model checker assigns. Must exceed every
+/// other bare integer a queue render can contain (positions, widths, tags,
+/// small parameters) so sequence renaming can identify its targets.
+pub const SEQ_BASE: u64 = 1000;
+
+/// Fields whose whole value is replaced by `_` (see module docs).
+const BALANCED_MASKED: [&str; 5] = ["stats", "waiters", "trace", "scratch", "old_scratch"];
+
+/// Monotone-total fields whose numeric value is replaced by `#`.
+const VALUE_MASKED: [&str; 7] = [
+    "retired",
+    "llc_misses",
+    "issued",
+    "issued_low_priority",
+    "next_interval_retired",
+    "last_reset_insts",
+    "threshold_reductions",
+];
+
+/// Skips a balanced `Debug` value starting at `i` (just past `: `);
+/// returns the index of the first character after it (the `,` or closing
+/// bracket stays unconsumed).
+fn skip_balanced(bytes: &[u8], mut i: usize) -> usize {
+    let mut depth: u64 = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' | b'(' => depth += 1,
+            b'}' | b']' | b')' => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            b',' if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Rewrites `render` (a `{:?}` render) into canonical architectural form.
+///
+/// `live` maps each live sequence number to its age rank (0 = oldest);
+/// the caller builds it from its shadow model. See the module docs for
+/// the three rewrite classes.
+pub fn canonical_render(render: &str, live: &BTreeMap<u64, u64>) -> String {
+    let bytes = render.as_bytes();
+    let mut out = String::with_capacity(render.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = &render[start..i];
+            let is_field = bytes.get(i) == Some(&b':') && bytes.get(i + 1) == Some(&b' ');
+            if is_field && BALANCED_MASKED.contains(&word) {
+                out.push_str(word);
+                out.push_str(": _");
+                i = skip_balanced(bytes, i + 2);
+                continue;
+            }
+            if is_field && VALUE_MASKED.contains(&word) {
+                out.push_str(word);
+                out.push_str(": #");
+                i += 2;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                continue;
+            }
+            out.push_str(word);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let part_of_float = bytes.get(i) == Some(&b'.')
+                || (start > 0 && bytes[start.saturating_sub(1)] == b'.');
+            let token = &render[start..i];
+            if !part_of_float {
+                if let Ok(value) = token.parse::<u64>() {
+                    if value >= SEQ_BASE {
+                        match live.get(&value) {
+                            Some(rank) => {
+                                out.push('s');
+                                out.push_str(&rank.to_string());
+                            }
+                            None => out.push('#'),
+                        }
+                        continue;
+                    }
+                }
+            }
+            out.push_str(token);
+            continue;
+        }
+        out.push(c as char);
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live(pairs: &[(u64, u64)]) -> BTreeMap<u64, u64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn masks_stats_and_waiters_wholesale() {
+        let render = "Q { head: 1, stats: IqStats { issued: 3, selects: 9 }, \
+                      waiters: [[0, 2], []], region: 2 }";
+        assert_eq!(
+            canonical_render(render, &live(&[])),
+            "Q { head: 1, stats: _, waiters: _, region: 2 }"
+        );
+    }
+
+    #[test]
+    fn masks_monotone_totals_but_not_small_fields() {
+        let render = "S { next_interval_retired: 20000, interval: IntervalStart { retired: \
+                      10000, llc_misses: 100 }, head: 3 }";
+        assert_eq!(
+            canonical_render(render, &live(&[])),
+            "S { next_interval_retired: #, interval: IntervalStart { retired: #, llc_misses: \
+             # }, head: 3 }"
+        );
+    }
+
+    #[test]
+    fn renames_live_seqs_and_masks_stale_ones() {
+        let render = "Slot { seq: 1002, payload: 1002 }, Slot { seq: 1000, payload: 1000 }";
+        assert_eq!(
+            canonical_render(render, &live(&[(1002, 1)])),
+            "Slot { seq: s1, payload: s1 }, Slot { seq: #, payload: # }"
+        );
+    }
+
+    #[test]
+    fn leaves_floats_and_small_integers_alone() {
+        let render = "C { flpi_threshold_age: 0.04, mpki_threshold: 1.0, big: 1234.5, tag: 1 }";
+        assert_eq!(canonical_render(render, &live(&[])), render);
+    }
+
+    #[test]
+    fn two_paths_to_the_same_architecture_canonicalize_equal() {
+        // Same architectural state, different absolute seqs and counters.
+        let a = "Q { slots: [Slot { seq: 1000, payload: 1000 }], stats: IqStats { issued: 0 } }";
+        let b = "Q { slots: [Slot { seq: 1037, payload: 1037 }], stats: IqStats { issued: 9 } }";
+        assert_eq!(
+            canonical_render(a, &live(&[(1000, 0)])),
+            canonical_render(b, &live(&[(1037, 0)])),
+        );
+    }
+}

@@ -1,0 +1,734 @@
+//! The queue-side model: a real `Box<dyn IssueQueue>` paired with a
+//! shadow model, the per-kind property checks, and the event alphabet.
+//!
+//! The shadow model is deliberately trivial — a vector of `(seq, srcs,
+//! starve)` in program order — so that every property reduces to a
+//! comparison between something the queue claims and something the shadow
+//! knows by construction. See the crate docs for the property catalog.
+//!
+//! # Scope choices that keep the state space closed
+//!
+//! * Tags come from `{0, 1}` with a canonical-fresh-tag rule: a dispatch
+//!   may only name tag 1 once tag 0 has a live waiter, which quotients
+//!   away tag-renaming symmetry.
+//! * SWQUE harnesses set `flpi_region_frac = 1.0`, making *every* grant a
+//!   low-priority grant: the interval FLPI is then exactly `1.0` when any
+//!   instruction issued in the interval and `0.0` otherwise, so the only
+//!   interval state the dedup key must carry is one bit
+//!   (`granted_since_interval`) instead of two unbounded issue counters.
+//!   The full FLPI/instability decision logic is checked exhaustively by
+//!   [`CtrlHarness`](crate::CtrlHarness), where metrics are direct
+//!   alphabet inputs.
+//! * Poll events always land exactly on the next interval boundary
+//!   (`retired = (k+1) · interval_insts`), so MPKI deltas are `0` or an
+//!   unambiguously-high value chosen by the event, never an accumulation.
+
+use std::collections::BTreeMap;
+
+use swque_core::replay::Event;
+use swque_core::{
+    CircPcQueue, DispatchReq, IqConfig, IqKind, IqMode, IssueBudget, IssueQueue, Tag,
+};
+use swque_isa::FuClass;
+
+use crate::canon::{canonical_render, SEQ_BASE};
+use crate::explore::Harness;
+
+/// `--inject` name for [`Injection::CircPcNoCorrect`].
+pub const INJECT_CIRC_PC_NO_CORRECT: &str = "circ-pc-no-correct";
+/// `--inject` name for [`Injection::ControllerNoStabilize`].
+pub const INJECT_CONTROLLER_NO_STABILIZE: &str = "controller-no-stabilize";
+
+/// A named mutation the harness plants so `scripts/verify.sh` can prove
+/// the checker actually detects bugs (red/green gating).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// Build CIRC-PC via [`CircPcQueue::without_correction`]: the S_NR
+    /// mask and the S_RV path are disabled, so wrapped-region youngsters
+    /// issue ahead of older instructions — violates `pc-age-ordered`.
+    CircPcNoCorrect,
+    /// Run the controller with `stabilize: false`: the instability
+    /// counter never trips, so the AGE-mode FLPI threshold is never
+    /// lowered — violates `ctrl-instability-reduction`.
+    ControllerNoStabilize,
+}
+
+impl Injection {
+    /// Parses an `--inject` / `inject=` name.
+    pub fn parse(name: &str) -> Option<Injection> {
+        match name {
+            INJECT_CIRC_PC_NO_CORRECT => Some(Injection::CircPcNoCorrect),
+            INJECT_CONTROLLER_NO_STABILIZE => Some(Injection::ControllerNoStabilize),
+            _ => None,
+        }
+    }
+
+    /// The canonical name (the `inject=` field of a replay).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Injection::CircPcNoCorrect => INJECT_CIRC_PC_NO_CORRECT,
+            Injection::ControllerNoStabilize => INJECT_CONTROLLER_NO_STABILIZE,
+        }
+    }
+}
+
+/// A property violation: the property name (stable, documented in the
+/// crate docs) plus a human-readable account of what went wrong.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Stable property name (e.g. `pc-age-ordered`).
+    pub property: &'static str,
+    /// What the queue claimed vs. what the shadow knew.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(property: &'static str, detail: String) -> Violation {
+        Violation { property, detail }
+    }
+}
+
+/// One shadow instruction: everything the checker needs to predict queue
+/// behavior.
+#[derive(Debug, Clone, Copy)]
+struct ShadowEntry {
+    seq: u64,
+    srcs: [Option<Tag>; 2],
+    /// Ready-but-not-granted streak across non-exhausted selects, for
+    /// `pc-ready-within-bound`. Capped at the bound + 1 so the state
+    /// space stays finite.
+    starve: u64,
+}
+
+impl ShadowEntry {
+    fn ready(&self) -> bool {
+        self.srcs[0].is_none() && self.srcs[1].is_none()
+    }
+}
+
+/// A queue under check: the real structure plus the shadow model.
+#[derive(Debug, Clone)]
+pub struct QueueHarness {
+    kind: IqKind,
+    queue: Box<dyn IssueQueue>,
+    capacity: usize,
+    width: usize,
+    /// Shadow entries in program (= seq) order.
+    entries: Vec<ShadowEntry>,
+    next_seq: u64,
+    /// SWQUE only: interval length of the embedded controller.
+    interval: u64,
+    /// SWQUE only: mode the queue must adopt at the next flush.
+    pending_switch: Option<IqMode>,
+    /// SWQUE only: shadow of `SwqueStats::switches`.
+    switches: u64,
+    /// SWQUE only: completed controller intervals (drives poll totals).
+    intervals_done: u64,
+    /// SWQUE only: running LLC-miss total fed to polls.
+    misses_total: u64,
+    /// SWQUE only: did anything issue since the last completed interval?
+    /// With `flpi_region_frac = 1.0` this single bit determines the next
+    /// interval's FLPI exactly (see module docs).
+    granted_since_interval: bool,
+}
+
+fn is_swque(kind: IqKind) -> bool {
+    matches!(kind, IqKind::Swque | IqKind::SwqueMulti)
+}
+
+/// Single-cycle-select kinds: every ready entry is issuable the cycle it
+/// becomes ready, so `ready-within-1` applies. CIRC-PC (and SWQUE, which
+/// embeds it) instead gets the weaker `pc-ready-within-bound` because of
+/// the two-cycle RV path.
+fn single_cycle(kind: IqKind) -> bool {
+    !matches!(kind, IqKind::CircPc | IqKind::Swque | IqKind::SwqueMulti)
+}
+
+/// Kinds whose `has_space` is free-list-based and therefore truthful the
+/// moment the queue is empty. Circular-allocation kinds legitimately
+/// report "no space" on an empty queue until the head pointer catches up,
+/// so they are excluded from the `is_empty ⇒ has_space` direction.
+fn free_list(kind: IqKind) -> bool {
+    matches!(kind, IqKind::Shift | IqKind::Rand | IqKind::Age | IqKind::AgeMulti)
+}
+
+impl QueueHarness {
+    /// Builds a harness for `kind` at the given small scope.
+    ///
+    /// Fails on nonsensical combinations (capacity < 2, zero width, or an
+    /// injection that does not apply to `kind`).
+    pub fn new(
+        kind: IqKind,
+        capacity: usize,
+        width: usize,
+        inject: Option<Injection>,
+    ) -> Result<QueueHarness, String> {
+        if capacity < 2 {
+            return Err(format!("capacity must be at least 2, got {capacity}"));
+        }
+        if width == 0 {
+            return Err("issue width must be at least 1".to_string());
+        }
+        let mut config = IqConfig {
+            capacity,
+            issue_width: width,
+            // Make every grant low-priority so SWQUE interval FLPI is a
+            // pure function of the granted_since_interval bit.
+            flpi_region_frac: 1.0,
+            ..IqConfig::default()
+        };
+        let queue: Box<dyn IssueQueue> = match inject {
+            None => kind.build(&config),
+            Some(Injection::CircPcNoCorrect) => {
+                if kind != IqKind::CircPc {
+                    return Err(format!(
+                        "injection {INJECT_CIRC_PC_NO_CORRECT} applies to CIRC-PC only, not {}",
+                        kind.label()
+                    ));
+                }
+                Box::new(CircPcQueue::without_correction(&config))
+            }
+            Some(Injection::ControllerNoStabilize) => {
+                if !is_swque(kind) {
+                    return Err(format!(
+                        "injection {INJECT_CONTROLLER_NO_STABILIZE} applies to SWQUE kinds or \
+                         CTRL, not {}",
+                        kind.label()
+                    ));
+                }
+                config.swque.stabilize = false;
+                kind.build(&config)
+            }
+        };
+        let interval = config.swque.interval_insts;
+        Ok(QueueHarness {
+            kind,
+            queue,
+            capacity,
+            width,
+            entries: Vec::new(),
+            next_seq: SEQ_BASE,
+            interval,
+            pending_switch: None,
+            switches: 0,
+            intervals_done: 0,
+            misses_total: 0,
+            granted_since_interval: false,
+        })
+    }
+
+    /// The kind under check.
+    pub fn kind(&self) -> IqKind {
+        self.kind
+    }
+
+    fn tag_live(&self, tag: Tag) -> bool {
+        self.entries.iter().any(|e| e.srcs.contains(&Some(tag)))
+    }
+
+    /// Invariants that must hold after *every* event.
+    fn check_shape(&self) -> Result<(), Violation> {
+        let len = self.queue.len();
+        if len != self.entries.len() {
+            return Err(Violation::new(
+                "len-conserved",
+                format!("queue len {len} but shadow holds {}", self.entries.len()),
+            ));
+        }
+        if len > self.capacity {
+            return Err(Violation::new(
+                "len-conserved",
+                format!("queue len {len} exceeds capacity {}", self.capacity),
+            ));
+        }
+        if len == self.capacity && self.queue.has_space() {
+            return Err(Violation::new(
+                "space-consistent",
+                format!("has_space() at full occupancy {len}/{}", self.capacity),
+            ));
+        }
+        if free_list(self.kind) && self.queue.is_empty() && !self.queue.has_space() {
+            return Err(Violation::new(
+                "space-consistent",
+                "empty free-list queue reports no space".to_string(),
+            ));
+        }
+        let shadow_ready = self.entries.iter().any(ShadowEntry::ready);
+        if shadow_ready && !self.queue.has_ready() {
+            return Err(Violation::new(
+                "ready-agrees",
+                "shadow has a ready entry but has_ready() is false".to_string(),
+            ));
+        }
+        if !shadow_ready && self.queue.has_ready() {
+            return Err(Violation::new(
+                "ready-agrees",
+                "has_ready() is true but no shadow entry is ready".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// `idle_tick(n)` must be observably identical to `n` empty selects
+    /// — architectural state (canonical render, which masks reused
+    /// scratch allocations) *and* statistics — and those empty selects
+    /// must grant nothing. Pure probe on clones.
+    fn idle_probe(&self) -> Result<(), Violation> {
+        if self.queue.has_ready() {
+            return Ok(());
+        }
+        let live: BTreeMap<u64, u64> =
+            self.entries.iter().enumerate().map(|(rank, e)| (e.seq, rank as u64)).collect();
+        for n in [1u64, 3] {
+            let mut ticked = self.queue.clone();
+            ticked.idle_tick(n);
+            let mut selected = self.queue.clone();
+            for _ in 0..n {
+                let mut budget = IssueBudget::new(self.width, [self.width; 4]);
+                let grants = selected.select(&mut budget);
+                if !grants.is_empty() {
+                    return Err(Violation::new(
+                        "no-ready-no-grant",
+                        format!("select granted {} with has_ready() false", grants.len()),
+                    ));
+                }
+            }
+            let arch_ticked = canonical_render(&format!("{ticked:?}"), &live);
+            let arch_selected = canonical_render(&format!("{selected:?}"), &live);
+            if arch_ticked != arch_selected {
+                return Err(Violation::new(
+                    "idle-equivalence",
+                    format!("idle_tick({n}) architecturally diverges from {n} empty selects"),
+                ));
+            }
+            let stats = (ticked.stats(), ticked.swque_stats());
+            let expected = (selected.stats(), selected.swque_stats());
+            if format!("{stats:?}") != format!("{expected:?}") {
+                return Err(Violation::new(
+                    "idle-equivalence",
+                    format!(
+                        "idle_tick({n}) statistics {stats:?} diverge from {n} empty selects \
+                         {expected:?}"
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn do_dispatch(&mut self, srcs: [Option<Tag>; 2]) -> Result<(), Violation> {
+        if !self.queue.has_space() {
+            return Ok(()); // precondition unmet: no-op, not a violation
+        }
+        let seq = self.next_seq;
+        let req = DispatchReq::new(seq, seq, None, srcs, FuClass::IntAlu);
+        if self.queue.dispatch(req).is_err() {
+            return Err(Violation::new(
+                "space-consistent",
+                format!("has_space() true but dispatch of seq {seq} failed"),
+            ));
+        }
+        self.next_seq += 1;
+        self.entries.push(ShadowEntry { seq, srcs, starve: 0 });
+        Ok(())
+    }
+
+    fn do_wakeup(&mut self, tag: Tag) {
+        self.queue.wakeup(tag);
+        for entry in &mut self.entries {
+            for src in &mut entry.srcs {
+                if *src == Some(tag) {
+                    *src = None;
+                }
+            }
+        }
+    }
+
+    fn do_select(&mut self, width: usize) -> Result<(), Violation> {
+        let had_ready = self.queue.has_ready();
+        let mode = self.queue.mode();
+        let pre_ready: Vec<u64> =
+            self.entries.iter().filter(|e| e.ready()).map(|e| e.seq).collect();
+        let mut budget = IssueBudget::new(width, [width; 4]);
+        let grants = self.queue.select(&mut budget);
+
+        if grants.len() > width {
+            return Err(Violation::new(
+                "budget-bound",
+                format!("granted {} with width {width}", grants.len()),
+            ));
+        }
+        if !had_ready && !grants.is_empty() {
+            return Err(Violation::new(
+                "no-ready-no-grant",
+                format!("granted {} with has_ready() false", grants.len()),
+            ));
+        }
+        let mut granted: Vec<u64> = Vec::with_capacity(grants.len());
+        for g in &grants {
+            if granted.contains(&g.seq) {
+                return Err(Violation::new(
+                    "grant-ready",
+                    format!("seq {} granted twice in one select", g.seq),
+                ));
+            }
+            if !pre_ready.contains(&g.seq) {
+                return Err(Violation::new(
+                    "grant-ready",
+                    format!("granted seq {} which was not a ready entry", g.seq),
+                ));
+            }
+            granted.push(g.seq);
+        }
+
+        // Age-ordering family, per kind.
+        let ordered_kinds = matches!(self.kind, IqKind::Shift | IqKind::CircPpri);
+        if ordered_kinds || self.kind == IqKind::CircPc || (is_swque(self.kind) && mode == IqMode::CircPc)
+        {
+            // CIRC-PC: the priority-corrected single-cycle stream must be
+            // age-ordered; RV-path grants (two_cycle) ride on top.
+            let mut last: Option<u64> = None;
+            for g in grants.iter().filter(|g| !g.two_cycle) {
+                if let Some(prev) = last {
+                    if g.seq <= prev {
+                        return Err(Violation::new(
+                            if ordered_kinds { "oldest-first" } else { "pc-age-ordered" },
+                            format!("granted seq {} after younger seq {prev}", g.seq),
+                        ));
+                    }
+                }
+                last = Some(g.seq);
+            }
+        }
+        if ordered_kinds {
+            // Stronger: the grants are exactly the oldest ready entries.
+            let max_granted = granted.iter().max().copied();
+            let min_left =
+                pre_ready.iter().filter(|s| !granted.contains(s)).min().copied();
+            if let (Some(hi), Some(lo)) = (max_granted, min_left) {
+                if hi > lo {
+                    return Err(Violation::new(
+                        "oldest-first",
+                        format!("granted seq {hi} while older ready seq {lo} was passed over"),
+                    ));
+                }
+            }
+        }
+        if matches!(self.kind, IqKind::Age | IqKind::AgeMulti)
+            && !budget.exhausted()
+            && !pre_ready.is_empty()
+        {
+            let oldest = pre_ready.iter().min().copied().unwrap_or(0);
+            if !granted.contains(&oldest) {
+                return Err(Violation::new(
+                    "age-first",
+                    format!("budget left but oldest ready seq {oldest} was not granted"),
+                ));
+            }
+        }
+
+        // Liveness.
+        let exhausted = budget.exhausted();
+        if single_cycle(self.kind) && !exhausted {
+            if let Some(seq) = pre_ready.iter().find(|s| !granted.contains(s)) {
+                return Err(Violation::new(
+                    "ready-within-1",
+                    format!("budget left but ready seq {seq} was not granted"),
+                ));
+            }
+        }
+        let starve_bound = (self.capacity as u64) + 2;
+        self.entries.retain(|e| !granted.contains(&e.seq));
+        if !single_cycle(self.kind) && !exhausted {
+            for entry in &mut self.entries {
+                if entry.ready() && pre_ready.contains(&entry.seq) {
+                    entry.starve = (entry.starve + 1).min(starve_bound + 1);
+                }
+            }
+            if let Some(entry) = self.entries.iter().find(|e| e.starve > starve_bound) {
+                return Err(Violation::new(
+                    "pc-ready-within-bound",
+                    format!(
+                        "seq {} stayed ready through {} non-exhausted selects (bound {})",
+                        entry.seq, entry.starve, starve_bound
+                    ),
+                ));
+            }
+        }
+        if !granted.is_empty() {
+            self.granted_since_interval = true;
+        }
+        Ok(())
+    }
+
+    fn do_squash(&mut self, seq: u64) {
+        self.queue.squash_younger(seq);
+        self.entries.retain(|e| e.seq <= seq);
+        // `pc-ready-within-bound` is a per-squash-free-window claim: a
+        // squash reshapes the region, and an adversary squashing every
+        // few cycles can keep a wrapped entry S_NR-masked forever (the
+        // explorer finds that interleaving), which no fixed bound
+        // survives. Within squash-free windows the bound is exhaustive.
+        for entry in &mut self.entries {
+            entry.starve = 0;
+        }
+    }
+
+    fn do_flush(&mut self) -> Result<(), Violation> {
+        let pending = self.pending_switch.take();
+        self.queue.flush();
+        self.entries.clear();
+        if let Some(stats) = self.queue.swque_stats() {
+            let expected = self.switches + u64::from(pending.is_some());
+            if stats.switches != expected {
+                return Err(Violation::new(
+                    "swque-switch-once",
+                    format!(
+                        "flush with pending switch {pending:?}: switches counter {} (expected \
+                         {expected})",
+                        stats.switches
+                    ),
+                ));
+            }
+            self.switches = expected;
+            if let Some(target) = pending {
+                if self.queue.mode() != target {
+                    return Err(Violation::new(
+                        "swque-switch-once",
+                        format!(
+                            "flush was to adopt {target:?} but queue is in {:?}",
+                            self.queue.mode()
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn do_poll(&mut self, retired: u64, misses: u64) -> Result<(), Violation> {
+        let mode_before = self.queue.mode();
+        let wants = self.queue.poll_mode_switch(self.intervals_done, retired, misses);
+        if !is_swque(self.kind) {
+            if wants {
+                return Err(Violation::new(
+                    "swque-switch-once",
+                    "fixed-mode queue requested a mode switch".to_string(),
+                ));
+            }
+            return Ok(());
+        }
+        if self.queue.mode() != mode_before {
+            return Err(Violation::new(
+                "swque-switch-once",
+                format!(
+                    "poll changed the effective mode {mode_before:?} -> {:?} without a flush",
+                    self.queue.mode()
+                ),
+            ));
+        }
+        match self.pending_switch {
+            Some(_) => {
+                if !wants {
+                    return Err(Violation::new(
+                        "swque-switch-once",
+                        "pending switch stopped being requested before the flush".to_string(),
+                    ));
+                }
+                // Waiting poll: the queue ignored the totals, so the
+                // interval bookkeeping stays put.
+            }
+            None => {
+                // This poll landed on an interval boundary by construction.
+                self.intervals_done += 1;
+                self.misses_total = misses;
+                self.granted_since_interval = false;
+                if wants {
+                    if mode_before == IqMode::Fixed {
+                        return Err(Violation::new(
+                            "swque-switch-once",
+                            "switch requested from Fixed mode".to_string(),
+                        ));
+                    }
+                    let target = match mode_before {
+                        IqMode::Age => IqMode::CircPc,
+                        _ => IqMode::Age,
+                    };
+                    self.pending_switch = Some(target);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The next interval-boundary retired total for poll events.
+    fn next_poll_retired(&self) -> u64 {
+        (self.intervals_done + 1) * self.interval
+    }
+}
+
+impl Harness for QueueHarness {
+    fn enabled_events(&self) -> Vec<Event> {
+        let mut events = Vec::new();
+        if self.queue.has_space() {
+            events.push(Event::Dispatch { srcs: [None, None] });
+            events.push(Event::Dispatch { srcs: [Some(0), None] });
+            if self.tag_live(0) {
+                // Canonical fresh-tag rule: tag 1 may appear only once
+                // tag 0 is in use (symmetry reduction over tag renaming).
+                events.push(Event::Dispatch { srcs: [Some(1), None] });
+                events.push(Event::Dispatch { srcs: [Some(0), Some(1)] });
+            }
+        }
+        for tag in [0, 1] {
+            if self.tag_live(tag) {
+                events.push(Event::Wakeup(tag));
+            }
+        }
+        events.push(Event::Select { width: 1 });
+        if self.width > 1 {
+            events.push(Event::Select { width: self.width });
+        }
+        if self.entries.len() >= 2 {
+            let oldest = self.entries[0].seq;
+            let mid = self.entries[self.entries.len() / 2].seq;
+            events.push(Event::SquashYounger(oldest));
+            if mid != oldest {
+                events.push(Event::SquashYounger(mid));
+            }
+        }
+        if !self.entries.is_empty() || self.pending_switch.is_some() {
+            events.push(Event::Flush);
+        }
+        if is_swque(self.kind) {
+            let retired = self.next_poll_retired();
+            events.push(Event::Poll { retired, misses: self.misses_total });
+            if self.pending_switch.is_none() {
+                // A high-MPKI interval: +100 misses over 10k insts = MPKI 10.
+                events.push(Event::Poll { retired, misses: self.misses_total + 100 });
+            }
+        }
+        events
+    }
+
+    fn apply(&mut self, event: Event) -> Result<(), Violation> {
+        match event {
+            Event::Dispatch { srcs } => self.do_dispatch(srcs)?,
+            Event::Wakeup(tag) => self.do_wakeup(tag),
+            Event::Select { width } => self.do_select(width)?,
+            Event::SquashYounger(seq) => self.do_squash(seq),
+            Event::Flush => self.do_flush()?,
+            Event::Poll { retired, misses } => self.do_poll(retired, misses)?,
+            Event::IdleTick(cycles) => {
+                if !self.queue.has_ready() {
+                    self.queue.idle_tick(cycles);
+                }
+            }
+            Event::Interval { .. } | Event::Reset(_) => {
+                return Err(Violation::new(
+                    "replay-target",
+                    format!("controller event {event} sent to a queue harness"),
+                ));
+            }
+        }
+        self.check_shape()?;
+        self.idle_probe()
+    }
+
+    fn state_key(&self) -> u64 {
+        let live: BTreeMap<u64, u64> =
+            self.entries.iter().enumerate().map(|(rank, e)| (e.seq, rank as u64)).collect();
+        let queue_part = canonical_render(&format!("{:?}", self.queue), &live);
+        let mut shadow = String::new();
+        for (rank, entry) in self.entries.iter().enumerate() {
+            shadow.push_str(&format!(
+                "s{rank}:{:?}/{:?}*{};",
+                entry.srcs[0], entry.srcs[1], entry.starve
+            ));
+        }
+        shadow.push_str(&format!(
+            "|pend={:?} g={}",
+            self.pending_switch, self.granted_since_interval
+        ));
+        swque_core::fnv1a64(format!("{queue_part}|{shadow}").as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injections_parse_and_label_round_trip() {
+        for inj in [Injection::CircPcNoCorrect, Injection::ControllerNoStabilize] {
+            assert_eq!(Injection::parse(inj.label()), Some(inj));
+        }
+        assert_eq!(Injection::parse("no-such-bug"), None);
+    }
+
+    #[test]
+    fn injection_kind_mismatch_is_rejected() {
+        assert!(QueueHarness::new(IqKind::Age, 4, 2, Some(Injection::CircPcNoCorrect)).is_err());
+        assert!(
+            QueueHarness::new(IqKind::Circ, 4, 2, Some(Injection::ControllerNoStabilize)).is_err()
+        );
+        assert!(QueueHarness::new(IqKind::CircPc, 4, 2, Some(Injection::CircPcNoCorrect)).is_ok());
+    }
+
+    #[test]
+    fn dispatch_select_wakeup_cycle_stays_clean_on_every_kind() {
+        for kind in IqKind::ALL {
+            let mut h = QueueHarness::new(kind, 3, 2, None).unwrap();
+            let script = [
+                Event::Dispatch { srcs: [None, None] },
+                Event::Dispatch { srcs: [Some(0), None] },
+                Event::Select { width: 2 },
+                Event::Wakeup(0),
+                Event::Select { width: 2 },
+                Event::Select { width: 1 },
+                Event::Flush,
+            ];
+            for event in script {
+                if let Err(v) = h.apply(event) {
+                    panic!("{}: {} — {}", kind.label(), v.property, v.detail);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn squash_keeps_only_older_entries() {
+        let mut h = QueueHarness::new(IqKind::Shift, 4, 2, None).unwrap();
+        h.apply(Event::Dispatch { srcs: [Some(0), None] }).unwrap();
+        h.apply(Event::Dispatch { srcs: [Some(0), None] }).unwrap();
+        h.apply(Event::Dispatch { srcs: [Some(0), None] }).unwrap();
+        h.apply(Event::SquashYounger(SEQ_BASE)).unwrap();
+        assert_eq!(h.entries.len(), 1);
+        assert_eq!(h.entries[0].seq, SEQ_BASE);
+    }
+
+    #[test]
+    fn state_key_ignores_statistics_noise() {
+        let mut a = QueueHarness::new(IqKind::Circ, 3, 2, None).unwrap();
+        let mut b = QueueHarness::new(IqKind::Circ, 3, 2, None).unwrap();
+        // Same architectural state, different stats history (extra empty
+        // selects on b).
+        a.apply(Event::Dispatch { srcs: [Some(0), None] }).unwrap();
+        b.apply(Event::Select { width: 1 }).unwrap();
+        b.apply(Event::Select { width: 1 }).unwrap();
+        b.apply(Event::Dispatch { srcs: [Some(0), None] }).unwrap();
+        assert_eq!(a.state_key(), b.state_key());
+    }
+
+    #[test]
+    fn no_correction_injection_violates_pc_age_ordering() {
+        // The uncorrected CIRC-PC leaves the wrapped region unmasked, so
+        // once the region wraps, a young wrapped entry can issue ahead of
+        // an older unwrapped one. Let the explorer find the interleaving.
+        let root =
+            QueueHarness::new(IqKind::CircPc, 3, 2, Some(Injection::CircPcNoCorrect)).unwrap();
+        let outcome = crate::explore::explore(&root, 10);
+        let v = outcome.violation.expect("injected queue should violate a property");
+        assert_eq!(v.property, "pc-age-ordered", "detail: {}", v.detail);
+    }
+}

@@ -1,0 +1,157 @@
+//! The `swque-mc-v1` machine-readable report.
+//!
+//! One checker invocation produces one report: a run record per explored
+//! target (kind × capacity × width × depth × injection) with its state
+//! count, closure status, and any violations — each violation carrying
+//! the minimized replay string. `swque-bench check_json` validates this
+//! schema; `scripts/verify.sh` gates on it.
+
+use swque_trace::json::Json;
+
+use crate::explore::RunOutcome;
+
+/// Schema tag of the checker's JSON report.
+pub const MC_SCHEMA: &str = "swque-mc-v1";
+
+/// One violation in a run record.
+#[derive(Debug, Clone)]
+pub struct McViolation {
+    /// Stable property name.
+    pub property: String,
+    /// Human-readable account.
+    pub detail: String,
+    /// Minimized self-contained replay string (`swque-mc-replay-v1 …`).
+    pub replay: String,
+}
+
+/// One explored target.
+#[derive(Debug, Clone)]
+pub struct McRun {
+    /// Target label: an `IqKind` label or `CTRL`.
+    pub target: String,
+    /// Queue capacity (0 for the controller).
+    pub capacity: usize,
+    /// Issue width (0 for the controller).
+    pub width: usize,
+    /// Depth bound in events.
+    pub depth: u64,
+    /// Injection name, or `-` for the clean tree.
+    pub inject: String,
+    /// Distinct canonical states fully explored.
+    pub states: u64,
+    /// Deepest level at which a new state was discovered.
+    pub deepest: u64,
+    /// New states one step past the bound (0 = closed).
+    pub frontier: u64,
+    /// Whether the bound exhausted the reachable state space.
+    pub closed: bool,
+    /// Violations found (at most one per exploration, by construction).
+    pub violations: Vec<McViolation>,
+}
+
+impl McRun {
+    /// Builds a run record from an exploration outcome (violations are
+    /// attached separately once minimized and rendered).
+    pub fn from_outcome(
+        target: &str,
+        capacity: usize,
+        width: usize,
+        depth: u64,
+        inject: Option<&str>,
+        outcome: &RunOutcome,
+    ) -> McRun {
+        McRun {
+            target: target.to_string(),
+            capacity,
+            width,
+            depth,
+            inject: inject.unwrap_or("-").to_string(),
+            states: outcome.states,
+            deepest: outcome.deepest,
+            frontier: outcome.frontier,
+            closed: outcome.closed(),
+            violations: Vec::new(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let violations: Vec<Json> = self
+            .violations
+            .iter()
+            .map(|v| {
+                Json::obj([
+                    ("property", Json::from(v.property.as_str())),
+                    ("detail", Json::from(v.detail.as_str())),
+                    ("replay", Json::from(v.replay.as_str())),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("target", Json::from(self.target.as_str())),
+            ("capacity", Json::from(self.capacity)),
+            ("width", Json::from(self.width)),
+            ("depth", Json::from(self.depth)),
+            ("inject", Json::from(self.inject.as_str())),
+            ("states", Json::from(self.states)),
+            ("deepest", Json::from(self.deepest)),
+            ("frontier", Json::from(self.frontier)),
+            ("closed", Json::from(self.closed)),
+            ("violations", Json::Arr(violations)),
+        ])
+    }
+}
+
+/// Assembles the full `swque-mc-v1` report.
+pub fn report(smoke: bool, runs: &[McRun]) -> Json {
+    let total_states: u64 = runs.iter().map(|r| r.states).sum();
+    let violations: u64 = runs.iter().map(|r| r.violations.len() as u64).sum();
+    Json::obj([
+        ("schema", Json::from(MC_SCHEMA)),
+        ("smoke", Json::from(smoke)),
+        ("runs", Json::Arr(runs.iter().map(McRun::to_json).collect())),
+        ("total_states", Json::from(total_states)),
+        ("violations", Json::from(violations)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_run() -> McRun {
+        McRun {
+            target: "CIRC-PC".to_string(),
+            capacity: 3,
+            width: 2,
+            depth: 8,
+            inject: "-".to_string(),
+            states: 412,
+            deepest: 7,
+            frontier: 0,
+            closed: true,
+            violations: vec![McViolation {
+                property: "pc-age-ordered".to_string(),
+                detail: "granted seq 1001 after younger seq 1002".to_string(),
+                replay: "swque-mc-replay-v1 kind=CIRC-PC cap=3 width=2 \
+                         inject=circ-pc-no-correct expect=pc-age-ordered events=d-.-,s2"
+                    .to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn report_has_the_schema_tag_and_fixed_key_order() {
+        let text = report(true, &[sample_run()]).to_string();
+        assert!(text.starts_with("{\"schema\":\"swque-mc-v1\",\"smoke\":true,\"runs\":["));
+        assert!(text.contains("\"total_states\":412"));
+        assert!(text.contains("\"violations\":1"));
+    }
+
+    #[test]
+    fn report_round_trips_through_the_json_parser() {
+        let json = report(false, &[sample_run()]);
+        let text = json.to_string();
+        let back = swque_trace::json::Json::parse(&text).expect("round trip");
+        assert_eq!(back.to_string(), text);
+    }
+}

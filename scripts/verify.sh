@@ -65,6 +65,8 @@ neg_check cross-domain-arith crates/mem/src/injected.rs \
     'fn f(done_at: u64, issue_at: u64) -> u64 { done_at + issue_at }\n'
 neg_check cross-domain-call crates/mem/src/injected.rs \
     '// swque-domain: at: CycleStamp(launch)\nfn launch(at: u64) { let _ = at; }\nfn f(done_at: u64) { launch(done_at); }\n'
+neg_check mc-replay crates/mc/src/injected.rs \
+    'const T: &str = "swque-mc-replay-v1 kind=CIRC cap=x width=1 inject=- expect=- events=-";\n'
 
 echo "== lint: --explain smoke (every rule documents itself)"
 # The rule list must stay in sync with RULES in crates/lint/src/rules.rs;
@@ -73,7 +75,7 @@ echo "== lint: --explain smoke (every rule documents itself)"
 for rule in no-unsafe unordered-container iterated-unordered truncating-cast \
             unchecked-arith interior-mutability wall-clock ambient-rng \
             panic-in-lib env-read cross-domain-arith cross-domain-call \
-            malformed-pragma external-dep registry-source; do
+            malformed-pragma mc-replay external-dep registry-source; do
     ./target/release/swque-lint --explain "$rule" > /dev/null
 done
 
@@ -107,6 +109,42 @@ grep -q "crates/mem/src/hierarchy.rs:$bug_line:.*cross-domain-call" "$json_tmp/p
     cat "$json_tmp/pr8-out.txt" >&2
     exit 1
 }
+
+echo "== mc: swque-mc --smoke (bounded exhaustive check, every kind + controller)"
+# Every smoke-scope state space must close ("frontier empty") with zero
+# violations; the swque-mc-v1 report must validate like every other
+# producer's JSON.
+./target/release/swque-mc --smoke --json > "$json_tmp/mc-smoke.json"
+./target/release/check_json "$json_tmp/mc-smoke.json"
+
+echo "== mc: negative injections (planted bugs must be caught, minimized, replayable)"
+# Each injection plants a real bug (the priority-correction pass removed;
+# the controller's Figure-7 stabilization disabled) in a harness copy of
+# the structure. The checker must exit 1, name the exact property, and
+# emit a minimized self-contained replay string — which the checker
+# itself re-executes before reporting, and check_json re-parses here.
+mc_neg() {
+    local kind="$1" cap="$2" inject="$3" property="$4"
+    local out="$json_tmp/mc-neg-$inject.json"
+    if ./target/release/swque-mc --kind "$kind" --capacity "$cap" \
+        --inject "$inject" --json > "$out" 2> /dev/null; then
+        echo "error: swque-mc passed with the $inject bug planted" >&2
+        exit 1
+    fi
+    grep -q "\"property\":\"$property\"" "$out" || {
+        echo "error: $inject not attributed to $property" >&2
+        cat "$out" >&2
+        exit 1
+    }
+    grep -q "\"replay\":\"swque-mc-replay-v1 [^\"]" "$out" || {
+        echo "error: $inject produced no replayable counterexample" >&2
+        cat "$out" >&2
+        exit 1
+    }
+    ./target/release/check_json "$out"
+}
+mc_neg CIRC-PC 3 circ-pc-no-correct pc-age-ordered
+mc_neg CTRL 0 controller-no-stabilize ctrl-instability-reduction
 
 echo "== json: schema smoke (fig09 -> check_json, reduced budget)"
 SWQUE_WARMUP=5000 SWQUE_INSTS=20000 SWQUE_JSON="$json_tmp/fig09.json" \
